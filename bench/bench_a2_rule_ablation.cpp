@@ -1,0 +1,76 @@
+// A2 — ablation: serve-first vs priority across L and B.
+//
+// The paper's separation (Thm 1.2 vs 1.3) is about *cyclic* collections.
+// This ablation sweeps worm length and bandwidth on bundles and triangle
+// collections. Two distinct effects appear: on triangles, priority breaks
+// blocking cycles (the theorem's mechanism, ratio up to ~1.3 at B=1); on
+// dense bundles with tight delays and B=1, priority acts as a *progress
+// guarantee* — serve-first + kill-all dead-heats can eliminate every
+// contender of a link, while priority always forwards one (ratios up to
+// ~7x at L=2). Extra wavelengths shrink both effects.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/util/table.hpp"
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "A2: contention-rule ablation over (L, B)",
+      "priority helps on cyclic collections, is ~neutral on bundles");
+
+  struct Family {
+    std::string name;
+    std::function<CollectionFactory(std::uint32_t)> make;  // by L
+  };
+  const std::vector<Family> families{
+      {"bundles 8x32",
+       [](std::uint32_t) -> CollectionFactory {
+         return
+             [](std::uint64_t) { return make_bundle_collection(8, 32, 10); };
+       }},
+      {"triangles x64",
+       [](std::uint32_t L) -> CollectionFactory {
+         return [L](std::uint64_t) {
+           return make_triangle_collection(64, 2 * L + 2, L);
+         };
+       }},
+  };
+
+  for (const auto& family : families) {
+    Table table(family.name + ": rounds, serve-first vs priority");
+    table.set_header({"L", "B", "serve-first", "priority", "sf/prio"});
+    for (const std::uint32_t L : {2u, 4u, 8u, 16u}) {
+      for (const std::uint16_t B : {1, 2, 4}) {
+        auto measure = [&](ContentionRule rule) {
+          ProtocolConfig config;
+          config.rule = rule;
+          config.bandwidth = B;
+          config.worm_length = L;
+          config.max_rounds = 20000;
+          return run_trials(family.make(L),
+                            fixed_schedule_factory(3 * L), config,
+                            scaled_trials(15), 111);
+        };
+        const auto sf = measure(ContentionRule::ServeFirst);
+        const auto prio = measure(ContentionRule::Priority);
+        table.row()
+            .cell(L)
+            .cell(static_cast<long long>(B))
+            .cell(sf.rounds.mean())
+            .cell(prio.rounds.mean())
+            .cell(sf.rounds.mean() / std::max(1.0, prio.rounds.mean()));
+      }
+    }
+    print_experiment_table(table);
+  }
+  std::cout << "Expected shape: on triangles sf/prio in [1, 1.35], largest"
+               " at B=1 (cycle breaking);\non bundles ~1 at moderate"
+               " L but very large at (L=2, B=1), where kill-all\ndead-heats"
+               " stall serve-first and priority guarantees per-link"
+               " progress.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// A5 — ablation: serve-first simultaneous-arrival policy.
+//
+// The paper's serve-first rule does not pin down what happens when two
+// worms hit a free coupler in the same flit step. We model two physical
+// readings: kill-all (the photonic signals corrupt each other) and
+// first-wins (the coupler control latches one input port). On dense
+// same-source bundles the difference is qualitative, not cosmetic:
+// kill-all lets simultaneous arrivals wipe each other out wholesale (no
+// one makes progress on that link that round), while first-wins always
+// forwards someone — orders of magnitude fewer rounds. On sparse
+// workloads (butterfly permutations) dead-heats are rare and the gap is
+// a few percent.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/util/table.hpp"
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "A5: serve-first tie-policy ablation",
+      "kill-all vs first-wins at simultaneous arrivals");
+
+  const std::uint32_t L = 4;
+
+  struct Workload {
+    std::string name;
+    CollectionFactory factory;
+    ScheduleFactory schedule;
+    std::uint16_t bandwidth;
+  };
+  const std::vector<Workload> workloads{
+      {"bundle 4x64, tight delays",
+       [](std::uint64_t) { return make_bundle_collection(4, 64, 8); },
+       fixed_schedule_factory(2 * L), 1},
+      {"butterfly dim 6 permutation",
+       [](std::uint64_t seed) {
+         auto topo = std::make_shared<ButterflyTopology>(make_butterfly(6));
+         Rng rng(seed);
+         const auto perm = random_permutation(topo->rows(), rng);
+         std::vector<std::pair<std::uint32_t, std::uint32_t>> requests;
+         for (std::uint32_t r = 0; r < topo->rows(); ++r)
+           requests.emplace_back(r, perm[r]);
+         return butterfly_io_collection(topo, requests);
+       },
+       paper_schedule_factory(L, 2), 2},
+  };
+
+  for (const auto& workload : workloads) {
+    Table table(workload.name);
+    table.set_header({"tie policy", "rounds mean", "rounds p95",
+                      "charged mean"});
+    for (const TiePolicy tie : {TiePolicy::KillAll, TiePolicy::FirstWins}) {
+      ProtocolConfig config;
+      config.tie = tie;
+      config.bandwidth = workload.bandwidth;
+      config.worm_length = L;
+      config.max_rounds = 20000;
+      const auto aggregate = run_trials(workload.factory, workload.schedule,
+                                        config, scaled_trials(15), 147);
+      table.row()
+          .cell(to_string(tie))
+          .cell(aggregate.rounds.mean())
+          .cell(aggregate.rounds.quantile(0.95))
+          .cell(aggregate.charged_time.mean());
+    }
+    print_experiment_table(table);
+  }
+  std::cout << "Expected shape: first-wins <= kill-all everywhere; a"
+               " many-fold gap on the dense\nbundle (kill-all wipes out"
+               " whole dead-heats), a few percent on the butterfly.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// A7 — congestion-oblivious adaptation.
+//
+// The paper's Δ_t schedule is built from C̃ (§2.1) — but an online source
+// does not know the global path congestion. This ablation measures what
+// that knowledge is worth: the paper schedule with the true C̃, the paper
+// schedule fed a badly wrong C̃ (too small by 64x and too large by 64x),
+// and the AdaptiveSchedule that learns the range from per-round success
+// rates alone (multiplicative increase/decrease).
+//
+// Expected: misestimating C̃ low costs many rounds; misestimating high
+// wastes charged time; the oblivious adaptive schedule lands within a
+// small factor of the informed optimum on both metrics.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/util/stats.hpp"
+#include "opto/util/table.hpp"
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "A7: adaptive (congestion-oblivious) delay schedule",
+      "paper schedule with true / wrong C vs multiplicative adaptation");
+
+  const std::uint32_t L = 8;
+  const std::uint32_t width = 256;   // the true C̃ is width-1
+  const auto collection = make_bundle_collection(1, width, 10);
+  ProblemShape truth;
+  truth.size = width;
+  truth.dilation = 10;
+  truth.path_congestion = width - 1;
+  truth.worm_length = L;
+  truth.bandwidth = 1;
+
+  struct Variant {
+    std::string name;
+    std::function<std::unique_ptr<DeltaSchedule>()> make;
+  };
+  const std::vector<Variant> variants{
+      {"paper, true C",
+       [&] { return std::make_unique<PaperSchedule>(truth); }},
+      {"paper, C/64 (underestimate)",
+       [&] {
+         auto shape = truth;
+         shape.path_congestion = std::max(1u, truth.path_congestion / 64);
+         return std::make_unique<PaperSchedule>(shape);
+       }},
+      {"paper, C*64 (overestimate)",
+       [&] {
+         auto shape = truth;
+         shape.path_congestion = truth.path_congestion * 64;
+         return std::make_unique<PaperSchedule>(shape);
+       }},
+      {"adaptive, oblivious start=D+L",
+       [&] {
+         return std::make_unique<AdaptiveSchedule>(
+             static_cast<SimTime>(truth.dilation + L));
+       }},
+  };
+
+  Table table("bundle width 256, serve-first, B=1, L=8");
+  table.set_header({"schedule", "rounds mean", "charged mean",
+                    "final delta", "failures"});
+  for (const auto& variant : variants) {
+    const std::size_t trials = scaled_trials(15);
+    SampleSet rounds, charged, final_delta;
+    std::uint32_t failures = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const auto schedule = variant.make();
+      ProtocolConfig config;
+      config.worm_length = L;
+      config.max_rounds = 5000;
+      TrialAndFailure protocol(collection, config, *schedule);
+      const auto result = protocol.run(700 + trial);
+      if (!result.success) {
+        ++failures;
+        continue;
+      }
+      rounds.add(static_cast<double>(result.rounds_used));
+      charged.add(static_cast<double>(result.total_charged_time));
+      final_delta.add(static_cast<double>(result.rounds.back().delta));
+    }
+    table.row()
+        .cell(variant.name)
+        .cell(rounds.count() ? rounds.mean() : -1.0)
+        .cell(charged.count() ? charged.mean() : -1.0)
+        .cell(final_delta.count() ? final_delta.mean() : -1.0)
+        .cell(failures);
+  }
+  print_experiment_table(table);
+  std::cout << "Expected shape: underestimating C costs rounds,"
+               " overestimating costs charged time;\nthe oblivious adaptive"
+               " schedule tracks the informed one within a small factor\n"
+               "(its final delta converges near the paper's L*C/B range).\n";
+  return 0;
+}

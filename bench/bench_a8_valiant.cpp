@@ -1,0 +1,136 @@
+// A8 — path selection ablation: when does randomized (Valiant) path
+// selection pay?
+//
+// The protocol's framework takes the path selection as given (§1.1);
+// this ablation probes how much that choice matters.
+//
+// Finding 1 (mesh): under dimension-order routing, ANY permutation keeps
+// C̃ at Θ(side) — each column hosts exactly `side` x-phases, each row
+// `side` y-phases — so Valiant's random intermediate is pure overhead
+// there (~2× dilation, ~3× C̃ from the extra phase overlap). Measured on
+// the transpose permutation below.
+//
+// Finding 2 (butterfly): the unique-path system DOES have adversarial
+// permutations — bit-reversal drives C̃ to Θ(√n), versus Θ(log n) for a
+// random permutation. This is the classic case where oblivious
+// deterministic routing loses and randomization (over destinations or
+// intermediates) is the fix; the protocol's congestion term L·C̃/B pays
+// the difference directly.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/dimension_order.hpp"
+#include "opto/paths/valiant.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/util/table.hpp"
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "A8: path selection — oblivious vs randomized (Valiant)",
+      "meshes tolerate any permutation under XY; butterflies do not");
+
+  const std::uint32_t L = 8;
+  const std::uint16_t B = 2;
+
+  Table mesh_table("mesh transpose: dimension-order vs Valiant");
+  mesh_table.set_header({"side", "selector", "C mean", "dilation",
+                         "rounds mean", "charged mean"});
+  for (const std::uint32_t side : {6u, 10u, 14u}) {
+    for (const bool use_valiant : {false, true}) {
+      CollectionFactory factory = [side, use_valiant](std::uint64_t seed) {
+        auto topo = std::make_shared<MeshTopology>(make_mesh({side, side}));
+        std::shared_ptr<const Graph> graph(topo, &topo->graph);
+        PathCollection collection(graph);
+        Rng rng(seed);
+        for (std::uint32_t i = 0; i < side; ++i)
+          for (std::uint32_t j = 0; j < side; ++j) {
+            const std::uint32_t src_coords[] = {i, j};
+            const std::uint32_t dst_coords[] = {j, i};
+            const NodeId src = topo->node_at(src_coords);
+            const NodeId dst = topo->node_at(dst_coords);
+            collection.add(use_valiant
+                               ? valiant_mesh_path(*topo, src, dst, rng)
+                               : dimension_order_path(*topo, src, dst));
+          }
+        return collection;
+      };
+      ProtocolConfig config;
+      config.bandwidth = B;
+      config.worm_length = L;
+      config.max_rounds = 5000;
+      const auto aggregate = run_trials(
+          factory, paper_schedule_factory(L, B), config, scaled_trials(12),
+          195);
+      mesh_table.row()
+          .cell(side)
+          .cell(use_valiant ? "valiant" : "dimension-order")
+          .cell(aggregate.path_congestion.mean())
+          .cell(aggregate.dilation.mean())
+          .cell(aggregate.rounds.mean())
+          .cell(aggregate.charged_time.mean());
+    }
+  }
+  print_experiment_table(mesh_table);
+
+  Table bfly_table(
+      "butterfly unique paths: bit-reversal vs random permutation");
+  bfly_table.set_header({"dim", "rows", "C bit-reversal", "C random mean",
+                         "charged bit-rev", "charged random"});
+  for (const std::uint32_t dim : {4u, 6u, 8u, 10u}) {
+    const auto reverse_bits = [dim](std::uint32_t value) {
+      std::uint32_t out = 0;
+      for (std::uint32_t bit = 0; bit < dim; ++bit)
+        out |= ((value >> bit) & 1u) << (dim - 1 - bit);
+      return out;
+    };
+    CollectionFactory bitrev_factory = [dim,
+                                        reverse_bits](std::uint64_t) {
+      auto topo = std::make_shared<ButterflyTopology>(make_butterfly(dim));
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> requests;
+      for (std::uint32_t r = 0; r < topo->rows(); ++r)
+        requests.emplace_back(r, reverse_bits(r));
+      return butterfly_io_collection(topo, requests);
+    };
+    CollectionFactory random_factory = [dim](std::uint64_t seed) {
+      auto topo = std::make_shared<ButterflyTopology>(make_butterfly(dim));
+      Rng rng(seed);
+      const auto perm = random_permutation(topo->rows(), rng);
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> requests;
+      for (std::uint32_t r = 0; r < topo->rows(); ++r)
+        requests.emplace_back(r, perm[r]);
+      return butterfly_io_collection(topo, requests);
+    };
+    ProtocolConfig config;
+    config.bandwidth = B;
+    config.worm_length = L;
+    config.max_rounds = 5000;
+    const auto bitrev = run_trials(bitrev_factory,
+                                   paper_schedule_factory(L, B), config,
+                                   scaled_trials(10), 196);
+    const auto random = run_trials(random_factory,
+                                   paper_schedule_factory(L, B), config,
+                                   scaled_trials(10), 197);
+    bfly_table.row()
+        .cell(dim)
+        .cell(static_cast<long long>(1u << dim))
+        .cell(bitrev.path_congestion.mean())
+        .cell(random.path_congestion.mean())
+        .cell(bitrev.charged_time.mean())
+        .cell(random.charged_time.mean());
+  }
+  print_experiment_table(bfly_table);
+  std::cout << "Expected shape: on the mesh, dimension-order beats Valiant"
+               " on every metric —\nXY keeps C ~ side for ANY permutation,"
+               " so randomization is pure overhead.\nOn the butterfly,"
+               " bit-reversal's C grows like sqrt(n) vs ~log n random —\n"
+               "the adversarial gap that motivates randomized path"
+               " selection.\n";
+  return 0;
+}

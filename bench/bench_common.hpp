@@ -1,0 +1,37 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/benchsupport/experiment.hpp"
+#include "opto/core/schedule.hpp"
+#include "opto/paths/path_collection.hpp"
+
+namespace opto::bench {
+
+inline ProblemShape shape_of(const PathCollection& collection,
+                             std::uint32_t worm_length,
+                             std::uint16_t bandwidth) {
+  ProblemShape shape;
+  shape.size = collection.size();
+  shape.dilation = collection.dilation();
+  shape.path_congestion = collection.path_congestion();
+  shape.worm_length = worm_length;
+  shape.bandwidth = bandwidth;
+  return shape;
+}
+
+/// Schedule factory that ignores the collection (fixed Δ every round).
+inline ScheduleFactory fixed_schedule_factory(SimTime delta) {
+  return [delta](const PathCollection&) {
+    return std::unique_ptr<DeltaSchedule>(new FixedSchedule(delta));
+  };
+}
+
+inline ScheduleFactory no_delay_schedule_factory() {
+  return [](const PathCollection&) {
+    return std::unique_ptr<DeltaSchedule>(new NoDelaySchedule());
+  };
+}
+
+}  // namespace opto::bench

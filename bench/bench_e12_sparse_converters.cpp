@@ -1,0 +1,92 @@
+// E12 — sparse wavelength converters (§4: "cases in which only a few
+// routers can convert wavelengths", Lee & Li [23]).
+//
+// Converter density sweep on a congested mesh q-function under a
+// constrained delay range (so collisions are frequent and every retune
+// opportunity counts). Finding: the benefit is CONVEX in density, not
+// concave — a retune only saves a worm when the specific coupler where
+// its collision happens has a converter, and a worm must survive every
+// collision on its path, so low densities buy almost nothing. Sparse
+// deployment needs converter *placement* at hot spots, not random
+// sprinkling ([23]'s placement question).
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/util/table.hpp"
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "E12: sparse converter density sweep ([23] setting)",
+      "rounds vs fraction of converting routers");
+
+  const std::uint32_t L = 8;
+  const std::uint16_t B = 4;
+  const std::uint32_t side = 8;
+  const std::uint32_t q = 4;
+  const NodeId node_count = side * side;
+
+  // q-function on a mesh: every node sources q worms — heavy congestion.
+  CollectionFactory factory = [side, q](std::uint64_t seed) {
+    auto topo = std::make_shared<MeshTopology>(make_mesh({side, side}));
+    Rng rng(seed);
+    const auto requests =
+        random_q_function_requests(topo->graph.node_count(), q, rng);
+    return mesh_collection(topo, requests);
+  };
+
+  Table table("8x8 mesh 4-function, serve-first, B=4, L=8, fixed Delta=4L");
+  table.set_header({"converter fraction", "rounds mean", "rounds p95",
+                    "charged mean", "gap closed vs full"});
+  struct Row {
+    double fraction;
+    TrialAggregate aggregate;
+  };
+  std::vector<Row> rows;
+  for (const double fraction : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    ProtocolConfig config;
+    config.bandwidth = B;
+    config.worm_length = L;
+    config.max_rounds = 20000;
+    if (fraction >= 1.0) {
+      config.conversion = ConversionMode::Full;
+    } else if (fraction > 0.0) {
+      config.conversion = ConversionMode::Sparse;
+      config.converters.assign(node_count, 0);
+      Rng rng(777);
+      auto nodes = rng.permutation(node_count);
+      const auto take = static_cast<std::size_t>(fraction * node_count);
+      for (std::size_t i = 0; i < take; ++i) config.converters[nodes[i]] = 1;
+    }
+    const auto aggregate =
+        run_trials(factory, fixed_schedule_factory(4 * L), config,
+                   scaled_trials(15), 183);
+    rows.push_back({fraction, aggregate});
+  }
+  const double none_rounds = rows.front().aggregate.rounds.mean();
+  const double full_rounds = rows.back().aggregate.rounds.mean();
+  for (const Row& row : rows) {
+    const double gap = none_rounds - full_rounds;
+    const double closed =
+        gap > 0 ? (none_rounds - row.aggregate.rounds.mean()) / gap : 0.0;
+    table.row()
+        .cell(row.fraction)
+        .cell(row.aggregate.rounds.mean())
+        .cell(row.aggregate.rounds.quantile(0.95))
+        .cell(row.aggregate.charged_time.mean())
+        .cell(closed);
+  }
+  print_experiment_table(table);
+  std::cout << "Expected shape: 'gap closed' is convex in the fraction —"
+               " randomly-placed sparse\nconverters buy almost nothing"
+               " until density is high, because a retune only helps\nat"
+               " the exact coupler where a collision occurs. Placement, not"
+               " count, is what\nmatters for sparse conversion ([23]).\n";
+  return 0;
+}

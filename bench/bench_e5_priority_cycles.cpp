@@ -1,0 +1,78 @@
+// E5 — Main Theorem 1.3: priority routers on short-cut free collections.
+//
+// Paper claim: with priority routers the cyclic-elimination penalty of
+// Main Thm 1.2 disappears — rounds drop from Θ(log_α n) back to
+// O(√(log_α n) + loglog_β n), for ANY distinct-rank assignment.
+//
+// Head-to-head on the same triangle collections as E3/E4: serve-first vs
+// priority (random ranks) vs priority (adversarial fixed ranks). The
+// separation should widen as n grows.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "opto/analysis/bounds.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/util/table.hpp"
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "E5: Main Thm 1.3 (priority beats serve-first on cycles)",
+      "priority rounds ~ sqrt(log_a n) vs serve-first ~ log_a n");
+
+  const std::uint32_t L = 4;
+  const SimTime delta = 3 * L;
+
+  Table table("triangle collections: rounds by contention rule");
+  table.set_header({"n paths", "serve-first", "priority random",
+                    "priority adversarial", "sf/prio ratio", "log_a n",
+                    "sqrt(log_a n)"});
+  for (const std::uint32_t structures : {16u, 64u, 256u, 1024u}) {
+    CollectionFactory factory = [structures](std::uint64_t) {
+      return make_triangle_collection(structures, 2 * L + 2, L);
+    };
+    const std::size_t trials =
+        scaled_trials(structures >= 1024 ? 10 : 30);
+
+    auto measure = [&](ContentionRule rule, PriorityStrategy strategy) {
+      ProtocolConfig config;
+      config.rule = rule;
+      config.priorities = strategy;
+      config.worm_length = L;
+      config.max_rounds = 20000;
+      return run_trials(factory, fixed_schedule_factory(delta), config,
+                        trials, 55);
+    };
+    const auto serve_first =
+        measure(ContentionRule::ServeFirst, PriorityStrategy::RandomPermutation);
+    const auto priority_random =
+        measure(ContentionRule::Priority, PriorityStrategy::RandomPermutation);
+    const auto priority_adv =
+        measure(ContentionRule::Priority, PriorityStrategy::AdversarialByPath);
+
+    ProblemShape shape;
+    shape.size = structures * 3;
+    shape.dilation = 2 * L + 2;
+    shape.path_congestion = 2;
+    shape.worm_length = L;
+    shape.bandwidth = 1;
+
+    table.row()
+        .cell(static_cast<long long>(structures * 3))
+        .cell(serve_first.rounds.mean())
+        .cell(priority_random.rounds.mean())
+        .cell(priority_adv.rounds.mean())
+        .cell(serve_first.rounds.mean() /
+              std::max(1.0, priority_random.rounds.mean()))
+        .cell(lower_rounds_triangle(shape))
+        .cell(lower_rounds_staircase(shape));
+  }
+  print_experiment_table(table);
+  std::cout << "Expected shape: the sf/prio ratio grows with n (log vs"
+               " sqrt-log separation),\nand the adversarial ranks do not"
+               " break the priority upper bound (Thm 1.3 holds for any"
+               " distinct ranks).\n";
+  return 0;
+}

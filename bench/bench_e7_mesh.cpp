@@ -1,0 +1,107 @@
+// E7 — Theorem 1.6: d-dimensional meshes, random functions, serve-first.
+//
+// Paper claims:
+//  * time O(L·d·n/B + (√d + loglog n)(d·n + L + L·d·log n/B)) w.h.p.;
+//  * the round count is O(√d + loglog n) — in particular O(loglog n)
+//    rounds for fixed d, an exponential improvement over the O(log n)
+//    rounds of the prior art [11] (their priority-based bound).
+//
+// Part 1 sweeps side length at fixed d (rounds should stay ~flat — the
+// loglog signature). Part 2 sweeps d at similar network sizes.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "opto/analysis/bounds.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/util/table.hpp"
+
+namespace {
+
+opto::CollectionFactory mesh_factory(std::vector<std::uint32_t> sides) {
+  return [sides](std::uint64_t seed) {
+    auto topo = std::make_shared<opto::MeshTopology>(opto::make_mesh(sides));
+    opto::Rng rng(seed);
+    return opto::mesh_random_function(topo, rng);
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "E7: Thm 1.6 (d-dim meshes, serve-first)",
+      "rounds ~ sqrt(d) + loglog n (flat in side length); time ~ Ldn/B + ...");
+
+  const std::uint32_t L = 4;
+  const std::uint16_t B = 2;
+
+  Table side_table("2-D mesh, growing side: rounds should stay ~flat");
+  side_table.set_header({"side", "n nodes", "measured C", "rounds mean",
+                         "rounds p95", "charged mean", "Thm 1.6 bound",
+                         "time/bound"});
+  for (const std::uint32_t side : {4u, 6u, 8u, 12u, 16u}) {
+    ProtocolConfig config;
+    config.bandwidth = B;
+    config.worm_length = L;
+    config.max_rounds = 2000;
+    const auto aggregate =
+        run_trials(mesh_factory({side, side}), paper_schedule_factory(L, B),
+                   config, scaled_trials(side >= 12 ? 10 : 20), 77);
+    const double bound = runtime_mesh(side, 2, L, B);
+    side_table.row()
+        .cell(side)
+        .cell(static_cast<long long>(side) * side)
+        .cell(aggregate.path_congestion.mean())
+        .cell(aggregate.rounds.mean())
+        .cell(aggregate.rounds.quantile(0.95))
+        .cell(aggregate.charged_time.mean())
+        .cell(bound)
+        .cell(aggregate.charged_time.mean() / bound);
+  }
+  print_experiment_table(side_table);
+
+  Table dim_table("meshes of different dimension at similar sizes");
+  dim_table.set_header({"dims", "sides", "n nodes", "measured C",
+                        "rounds mean", "charged mean", "Thm 1.6 bound"});
+  struct Case {
+    std::vector<std::uint32_t> sides;
+  };
+  for (const auto& c :
+       {Case{{256}}, Case{{16, 16}}, Case{{8, 8, 4}}, Case{{4, 4, 4, 4}}}) {
+    ProtocolConfig config;
+    config.bandwidth = B;
+    config.worm_length = L;
+    config.max_rounds = 2000;
+    const auto aggregate =
+        run_trials(mesh_factory(c.sides), paper_schedule_factory(L, B),
+                   config, scaled_trials(10), 78);
+    std::uint64_t nodes = 1;
+    std::string sides_text;
+    for (const std::uint32_t s : c.sides) {
+      nodes *= s;
+      if (!sides_text.empty()) sides_text += "x";
+      sides_text += std::to_string(s);
+    }
+    dim_table.row()
+        .cell(static_cast<long long>(c.sides.size()))
+        .cell(sides_text)
+        .cell(static_cast<long long>(nodes))
+        .cell(aggregate.path_congestion.mean())
+        .cell(aggregate.rounds.mean())
+        .cell(aggregate.charged_time.mean())
+        .cell(runtime_mesh(c.sides.front(),
+                           static_cast<std::uint32_t>(c.sides.size()), L, B));
+  }
+  print_experiment_table(dim_table);
+  std::cout << "Expected shape: 'rounds mean' in the first table grows"
+               " sublogarithmically\n(loglog n regime: exponentially better"
+               " than the O(log n) of [11]);\nhigher-dimensional meshes trade"
+               " diameter against congestion in the second table.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E8 — Theorem 1.7: butterflies routing random q-functions input→output.
+//
+// Paper claim: on the log n-dimensional butterfly's leveled path system,
+// a random q-function routes in
+// O(L·q·log n/B + √(log n / log(q log n))·(L + log n + L·log n/B)) w.h.p.
+// — i.e. linear growth in q once the congestion term dominates, with the
+// round term *shrinking* as q grows (more congestion makes α larger).
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "opto/analysis/bounds.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/util/table.hpp"
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "E8: Thm 1.7 (butterfly q-functions, serve-first)",
+      "time ~ L q log n / B + sqrt(log n/log(q log n)) (L + log n + ...)");
+
+  const std::uint32_t L = 4;
+  const std::uint16_t B = 2;
+
+  for (const std::uint32_t dim : {5u, 7u}) {
+    Table table("butterfly dim=" + std::to_string(dim) +
+                " (n=" + std::to_string(1u << dim) + " rows)");
+    table.set_header({"q", "paths", "measured C", "rounds mean",
+                      "charged mean", "Thm 1.7 bound", "time/bound",
+                      "time/q"});
+    for (const std::uint32_t q : {1u, 2u, 4u, 8u}) {
+      CollectionFactory factory = [dim, q](std::uint64_t seed) {
+        auto topo = std::make_shared<ButterflyTopology>(make_butterfly(dim));
+        Rng rng(seed);
+        return butterfly_random_q_function(topo, q, rng);
+      };
+      ProtocolConfig config;
+      config.bandwidth = B;
+      config.worm_length = L;
+      config.max_rounds = 2000;
+      const auto aggregate =
+          run_trials(factory, paper_schedule_factory(L, B), config,
+                     scaled_trials(dim >= 7 ? 10 : 20), 88);
+      const double bound = runtime_butterfly(1u << dim, q, L, B);
+      table.row()
+          .cell(q)
+          .cell(static_cast<long long>(q) * (1u << dim))
+          .cell(aggregate.path_congestion.mean())
+          .cell(aggregate.rounds.mean())
+          .cell(aggregate.charged_time.mean())
+          .cell(bound)
+          .cell(aggregate.charged_time.mean() / bound)
+          .cell(aggregate.charged_time.mean() / q);
+    }
+    print_experiment_table(table);
+  }
+  std::cout << "Expected shape: charged time grows with q but sublinearly at"
+               " small q\n(round term shrinks); time/bound stays within a"
+               " modest constant band.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Engine micro-benchmarks (google-benchmark): simulator throughput,
+// collection-metric computation, and structure construction.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/sim/simulator.hpp"
+
+namespace {
+
+using namespace opto;
+
+void BM_SimulatorMeshPass(benchmark::State& state) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  auto topo = std::make_shared<MeshTopology>(make_mesh({side, side}));
+  Rng rng(1);
+  const auto collection = mesh_random_function(topo, rng);
+
+  SimConfig config;
+  config.bandwidth = 2;
+  Simulator sim(collection, config);
+
+  std::vector<LaunchSpec> specs(collection.size());
+  Rng launch_rng(2);
+  for (PathId id = 0; id < collection.size(); ++id) {
+    specs[id].path = id;
+    specs[id].start_time = static_cast<SimTime>(launch_rng.next_below(32));
+    specs[id].wavelength =
+        static_cast<Wavelength>(launch_rng.next_below(2));
+    specs[id].length = 8;
+    specs[id].priority = id;
+  }
+  std::uint64_t worm_steps = 0;
+  for (auto _ : state) {
+    const auto result = sim.run(specs);
+    worm_steps += result.metrics.worm_steps;
+    benchmark::DoNotOptimize(result.metrics.delivered);
+  }
+  state.counters["worm_steps/s"] = benchmark::Counter(
+      static_cast<double>(worm_steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorMeshPass)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SimulatorBundleContention(benchmark::State& state) {
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  const auto collection = make_bundle_collection(1, width, 16);
+  Simulator sim(collection, {});
+  std::vector<LaunchSpec> specs(width);
+  Rng rng(3);
+  for (PathId id = 0; id < width; ++id) {
+    specs[id].path = id;
+    specs[id].start_time = static_cast<SimTime>(rng.next_below(64));
+    specs[id].wavelength = 0;
+    specs[id].length = 8;
+    specs[id].priority = id;
+  }
+  for (auto _ : state) {
+    const auto result = sim.run(specs);
+    benchmark::DoNotOptimize(result.metrics.killed);
+  }
+}
+BENCHMARK(BM_SimulatorBundleContention)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PathCongestionMetric(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  auto topo = std::make_shared<ButterflyTopology>(make_butterfly(dim));
+  Rng rng(4);
+  const auto collection = butterfly_random_q_function(topo, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collection.path_congestion());
+  }
+  state.counters["paths"] = static_cast<double>(collection.size());
+}
+BENCHMARK(BM_PathCongestionMetric)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_StaircaseConstruction(benchmark::State& state) {
+  const auto structures = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto collection = make_staircase_collection(structures, 6, 16, 4);
+    benchmark::DoNotOptimize(collection.size());
+  }
+}
+BENCHMARK(BM_StaircaseConstruction)->Arg(16)->Arg(256);
+
+void BM_MeshWorkloadBuild(benchmark::State& state) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto topo = std::make_shared<MeshTopology>(make_mesh({side, side}));
+    Rng rng(seed++);
+    const auto collection = mesh_random_function(topo, rng);
+    benchmark::DoNotOptimize(collection.size());
+  }
+}
+BENCHMARK(BM_MeshWorkloadBuild)->Arg(16)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,113 @@
+// The lower-bound constructions in action (Figures 5 and 6): watch the
+// staircase blocking chain, the bundle's congestion decay, and the
+// triangle deadlock that the priority rule breaks.
+//
+//   ./adversarial_structures [--length 4] [--verbose]
+#include <cstdio>
+#include <iostream>
+
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/sim/simulator.hpp"
+#include "opto/util/cli.hpp"
+#include "opto/util/table.hpp"
+
+namespace {
+
+opto::ProblemShape shape_of(const opto::PathCollection& collection,
+                            std::uint32_t L, std::uint16_t B) {
+  opto::ProblemShape shape;
+  shape.size = collection.size();
+  shape.dilation = collection.dilation();
+  shape.path_congestion = collection.path_congestion();
+  shape.worm_length = L;
+  shape.bandwidth = B;
+  return shape;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opto;
+
+  CliParser cli("adversarial_structures",
+                "Lower-bound structures: staircase, bundle, triangle");
+  const auto* length = cli.add_int("length", 4, "worm length (>= 2)");
+  const auto* verbose = cli.add_flag("verbose", "print collision traces");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto L = static_cast<std::uint32_t>(*length);
+
+  // --- Staircase (Fig. 5): equal delays cascade kills up the chain. ---
+  {
+    const std::uint32_t k = 6;
+    const auto collection = make_staircase_collection(1, k, 3 * L + 4, L);
+    SimConfig sim_config;
+    sim_config.record_trace = *verbose;
+    Simulator sim(collection, sim_config);
+    std::vector<LaunchSpec> specs(k);
+    for (PathId id = 0; id < k; ++id) {
+      specs[id].path = id;
+      specs[id].start_time = 0;
+      specs[id].wavelength = 0;
+      specs[id].length = L;
+    }
+    const auto result = sim.run(specs);
+    std::printf(
+        "Staircase (k=%u, L=%u, step d=%u): equal delays kill %llu of %u "
+        "worms —\nLemma 2.8's blocking chain (only the topmost survives).\n",
+        k, L, StructureBuilder::staircase_step(L),
+        static_cast<unsigned long long>(result.metrics.killed), k);
+    if (*verbose)
+      for (const auto& event : result.trace.events())
+        std::printf("  %s\n", Trace::describe(event).c_str());
+  }
+
+  // --- Bundle (type-2): doubly exponential congestion decay. ---
+  {
+    const auto collection = make_bundle_collection(1, 256, 8);
+    ProtocolConfig config;
+    config.worm_length = L;
+    config.max_rounds = 200;
+    config.track_congestion = true;
+    PaperSchedule schedule(shape_of(collection, L, 1));
+    TrialAndFailure protocol(collection, config, schedule);
+    const auto result = protocol.run(42);
+
+    Table table("bundle of 256 identical paths: survivors per round");
+    table.set_header({"round", "delta", "active", "congestion"});
+    for (const auto& report : result.rounds)
+      table.row()
+          .cell(report.round)
+          .cell(report.delta)
+          .cell(report.active_before)
+          .cell(report.active_congestion);
+    table.print(std::cout);
+    std::printf("(Lemma 2.4/2.10 regime: the survivor count collapses.)\n\n");
+  }
+
+  // --- Triangle (Fig. 6): serve-first livelock vs priority progress. ---
+  {
+    const auto collection = make_triangle_collection(4, 2 * L + 4, L);
+    NoDelaySchedule no_delay;
+
+    ProtocolConfig serve_first;
+    serve_first.worm_length = L;
+    serve_first.max_rounds = 20;
+    TrialAndFailure sf(collection, serve_first, no_delay);
+    const auto sf_result = sf.run(7);
+
+    ProtocolConfig priority = serve_first;
+    priority.rule = ContentionRule::Priority;
+    TrialAndFailure pr(collection, priority, no_delay);
+    const auto pr_result = pr.run(7);
+
+    std::printf(
+        "Triangles (Fig. 6), no startup delays, one wavelength:\n"
+        "  serve-first: %s after %u rounds (deterministic livelock —\n"
+        "               the cyclic elimination of Main Thm 1.2's bound)\n"
+        "  priority   : %s in %u rounds (someone always wins: Thm 1.3)\n",
+        sf_result.success ? "finished" : "STILL STUCK", sf_result.rounds_used,
+        pr_result.success ? "finished" : "stuck", pr_result.rounds_used);
+  }
+  return 0;
+}

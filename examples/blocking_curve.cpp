@@ -1,0 +1,75 @@
+// Blocking-probability curves for dynamic circuit traffic (the [34]
+// substrate): sweep the offered load on a chosen topology, with and
+// without wavelength conversion.
+//
+//   ./blocking_curve [--topology ring|torus|hypercube] [--size 16]
+//                    [--bandwidth 8] [--points 6] [--csv]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "opto/core/dynamic_traffic.hpp"
+#include "opto/graph/hypercube.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/graph/ring.hpp"
+#include "opto/util/cli.hpp"
+#include "opto/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace opto;
+
+  CliParser cli("blocking_curve",
+                "Dynamic-traffic blocking probability vs offered load");
+  const auto* topology =
+      cli.add_string("topology", "ring", "ring|torus|hypercube");
+  const auto* size = cli.add_int("size", 16, "nodes / side / dimension");
+  const auto* bandwidth = cli.add_int("bandwidth", 8, "wavelengths");
+  const auto* points = cli.add_int("points", 6, "load points (doubling)");
+  const auto* arrivals = cli.add_int("arrivals", 30000, "arrivals per point");
+  const auto* csv = cli.add_flag("csv", "emit CSV");
+  if (!cli.parse(argc, argv)) return 1;
+
+  Graph graph;
+  if (*topology == "ring") {
+    graph = make_ring(static_cast<std::uint32_t>(*size));
+  } else if (*topology == "torus") {
+    graph = make_torus({static_cast<std::uint32_t>(*size),
+                        static_cast<std::uint32_t>(*size)})
+                .graph;
+  } else if (*topology == "hypercube") {
+    graph = make_hypercube(static_cast<std::uint32_t>(*size));
+  } else {
+    std::fprintf(stderr, "unknown topology '%s'\n", topology->c_str());
+    return 1;
+  }
+
+  Table table(graph.name() + ", B=" + std::to_string(*bandwidth));
+  table.set_header({"load (Erlang)", "blocking", "blocking w/ conversion",
+                    "utilization", "mean route"});
+  double load = 4.0;
+  for (long long point = 0; point < *points; ++point, load *= 2.0) {
+    DynamicTrafficConfig config;
+    config.bandwidth = static_cast<std::uint16_t>(*bandwidth);
+    config.offered_load = load;
+    config.arrivals = static_cast<std::uint64_t>(*arrivals);
+    config.warmup = config.arrivals / 8;
+    config.conversion = false;
+    const auto plain = simulate_dynamic_traffic(graph, config, 33);
+    config.conversion = true;
+    const auto converted = simulate_dynamic_traffic(graph, config, 33);
+    table.row()
+        .cell(load)
+        .cell(plain.blocking_probability)
+        .cell(converted.blocking_probability)
+        .cell(plain.utilization)
+        .cell(plain.mean_route_length);
+  }
+  if (*csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::printf(
+      "Wavelength continuity is the binding constraint: conversion's gain\n"
+      "is largest at low-to-moderate load and on long routes.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Layout explorer: inspect the Gerstel–Zaks lightpath-layout family
+// (chain / ring / mesh / tree) at any base — static trade-off numbers, a
+// sample route, and optional DOT output of the lightpath set.
+//
+//   ./layout_explorer --family tree --size 64 --base 4 --src 3 --dst 60
+//   ./layout_explorer --family ring --size 64 --base 2 --dot ring.dot
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "opto/paths/dot_export.hpp"
+#include "opto/paths/lightpath_layout.hpp"
+#include "opto/paths/tree_layout.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/util/cli.hpp"
+#include "opto/util/table.hpp"
+
+namespace {
+
+using namespace opto;
+
+void describe_route(const std::vector<Path>& route, const Graph& graph) {
+  std::printf("route: %zu hops\n", route.size());
+  for (const Path& tunnel : route) {
+    std::printf("  tunnel %u -> %u (%u links)\n", tunnel.source(),
+                tunnel.destination(), tunnel.length());
+    (void)graph;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("layout_explorer", "Lightpath layout family explorer");
+  const auto* family =
+      cli.add_string("family", "chain", "chain|ring|mesh|tree");
+  const auto* size = cli.add_int("size", 64, "nodes (mesh: side)");
+  const auto* base = cli.add_int("base", 2, "tunnel ladder base");
+  const auto* src = cli.add_int("src", 0, "sample route source");
+  const auto* dst = cli.add_int("dst", 1, "sample route destination");
+  const auto* seed = cli.add_int("seed", 1, "tree shape seed");
+  const auto* dot = cli.add_string("dot", "", "write lightpath DOT here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<std::uint32_t>(*size);
+  const auto b = static_cast<std::uint32_t>(*base);
+  const auto s = static_cast<NodeId>(*src);
+  const auto d = static_cast<NodeId>(*dst);
+
+  Table table(*family + " layout, n=" + std::to_string(n) +
+              ", base=" + std::to_string(b));
+  table.set_header({"metric", "value"});
+
+  PathCollection lightpaths;
+  std::vector<Path> route;
+  if (*family == "chain") {
+    const auto layout = make_chain_layout(n, b);
+    lightpaths = layout_lightpaths(layout);
+    route = layout_route(layout, s, d);
+    table.row().cell("levels").cell(layout.levels);
+    table.row().cell("wavelengths/fiber").cell(
+        layout_wavelength_congestion(layout));
+    table.row().cell("max hops").cell(layout_max_hops(layout));
+    table.row().cell("mean hops").cell(layout_mean_hops(layout));
+  } else if (*family == "ring") {
+    const auto layout = make_ring_layout(n, b);
+    lightpaths = ring_layout_lightpaths(layout);
+    route = ring_layout_route(layout, s, d);
+    table.row().cell("levels").cell(layout.levels);
+    table.row().cell("wavelengths/fiber").cell(
+        ring_layout_wavelength_congestion(layout));
+    table.row().cell("max hops").cell(ring_layout_max_hops(layout));
+  } else if (*family == "mesh") {
+    const auto layout = make_mesh_layout(n, b);
+    lightpaths = mesh_layout_lightpaths(layout);
+    route = mesh_layout_route(layout, s, d);
+    table.row().cell("levels").cell(layout.levels);
+    table.row().cell("wavelengths/fiber").cell(
+        mesh_layout_wavelength_congestion(layout));
+    table.row().cell("max hops").cell(mesh_layout_max_hops(layout));
+  } else if (*family == "tree") {
+    Rng rng(static_cast<std::uint64_t>(*seed));
+    const auto parents = random_tree_parents(n, rng);
+    const auto layout = make_tree_layout(parents, b);
+    lightpaths = tree_layout_lightpaths(layout);
+    route = tree_layout_route(layout, s, d);
+    table.row().cell("wavelengths/fiber").cell(
+        tree_layout_wavelength_congestion(layout));
+    table.row().cell("max hops").cell(tree_layout_max_hops(layout));
+    table.row().cell("lca(src,dst)").cell(
+        static_cast<long long>(tree_lca(layout, s, d)));
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family->c_str());
+    return 1;
+  }
+  table.row().cell("lightpaths kept lit").cell(lightpaths.size());
+  table.print(std::cout);
+  describe_route(route, lightpaths.graph());
+
+  if (!dot->empty()) {
+    std::ofstream out(*dot);
+    write_dot(out, lightpaths);
+    std::printf("wrote %s\n", dot->c_str());
+  }
+  return 0;
+}

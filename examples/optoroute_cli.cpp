@@ -1,0 +1,211 @@
+// optoroute_cli — general command-line front-end to the library.
+//
+//   ./optoroute_cli --topology torus --size 8 --workload permutation
+//                   --rule priority --bandwidth 4 --length 8 --trials 5
+//
+// Topologies: mesh, torus (2-D, side = --size), butterfly (dim = --size),
+// hypercube (dim), ring (nodes), debruijn (dim), circulant (nodes, chords
+// 1 and --size/4), margulis (side).
+// Workloads: function, permutation, qfunction (q = --q).
+// Output: per-trial summary plus an aggregate table; --csv switches the
+// aggregate to CSV for scripting.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "opto/analysis/bounds.hpp"
+#include "opto/core/result_json.hpp"
+#include "opto/benchsupport/experiment.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/debruijn.hpp"
+#include "opto/graph/expander.hpp"
+#include "opto/graph/hypercube.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/graph/ring.hpp"
+#include "opto/paths/bfs_shortest.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/dimension_order.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/util/cli.hpp"
+#include "opto/util/table.hpp"
+
+namespace {
+
+using namespace opto;
+
+/// Builds the collection factory for (topology, workload) or exits.
+CollectionFactory make_factory(const std::string& topology,
+                               const std::string& workload,
+                               std::uint32_t size, std::uint32_t q) {
+  const auto graph_workload =
+      [workload, q](std::shared_ptr<const Graph> graph,
+                    std::uint64_t seed) -> PathCollection {
+    Rng rng(seed);
+    if (workload == "permutation") return bfs_random_permutation(graph, rng);
+    if (workload == "qfunction") {
+      const auto requests =
+          random_q_function_requests(graph->node_count(), q, rng);
+      return bfs_collection(graph, requests);
+    }
+    return bfs_random_function(graph, rng);
+  };
+
+  if (topology == "mesh" || topology == "torus") {
+    const bool wrap = topology == "torus";
+    return [=](std::uint64_t seed) {
+      auto topo = std::make_shared<MeshTopology>(
+          wrap ? make_torus({size, size}) : make_mesh({size, size}));
+      Rng rng(seed);
+      if (workload == "permutation") {
+        const auto perm = random_permutation(topo->graph.node_count(), rng);
+        std::shared_ptr<const Graph> graph(topo, &topo->graph);
+        PathCollection collection(graph);
+        for (NodeId s = 0; s < topo->graph.node_count(); ++s)
+          collection.add(dimension_order_path(*topo, s, perm[s]));
+        return collection;
+      }
+      if (workload == "qfunction") {
+        const auto requests =
+            random_q_function_requests(topo->graph.node_count(), q, rng);
+        return mesh_collection(topo, requests);
+      }
+      return mesh_random_function(topo, rng);
+    };
+  }
+  if (topology == "butterfly") {
+    return [=](std::uint64_t seed) {
+      auto topo = std::make_shared<ButterflyTopology>(make_butterfly(size));
+      Rng rng(seed);
+      if (workload == "permutation") {
+        const auto perm = random_permutation(topo->rows(), rng);
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> requests;
+        for (std::uint32_t r = 0; r < topo->rows(); ++r)
+          requests.emplace_back(r, perm[r]);
+        return butterfly_io_collection(topo, requests);
+      }
+      return butterfly_random_q_function(topo,
+                                         workload == "qfunction" ? q : 1, rng);
+    };
+  }
+  const auto build_graph = [=]() -> std::shared_ptr<const Graph> {
+    if (topology == "hypercube")
+      return std::make_shared<Graph>(make_hypercube(size));
+    if (topology == "ring") return std::make_shared<Graph>(make_ring(size));
+    if (topology == "debruijn")
+      return std::make_shared<Graph>(make_debruijn(size));
+    if (topology == "circulant")
+      return std::make_shared<Graph>(
+          make_circulant(size, {1, std::max(2u, size / 4)}));
+    if (topology == "margulis")
+      return std::make_shared<Graph>(make_margulis_expander(size));
+    return nullptr;
+  };
+  const auto graph = build_graph();
+  if (graph == nullptr) return nullptr;
+  return [=](std::uint64_t seed) { return graph_workload(graph, seed); };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("optoroute_cli",
+                "Trial-and-Failure routing on a configurable network");
+  const auto* topology = cli.add_string(
+      "topology", "torus",
+      "mesh|torus|butterfly|hypercube|ring|debruijn|circulant|margulis");
+  const auto* size = cli.add_int("size", 8, "side / dimension / node count");
+  const auto* workload =
+      cli.add_string("workload", "function", "function|permutation|qfunction");
+  const auto* q = cli.add_int("q", 2, "messages per node for qfunction");
+  const auto* rule =
+      cli.add_string("rule", "serve-first", "serve-first|priority");
+  const auto* bandwidth = cli.add_int("bandwidth", 2, "wavelengths B");
+  const auto* length = cli.add_int("length", 4, "worm length L");
+  const auto* conversion = cli.add_flag("conversion", "full wavelength conversion");
+  const auto* ack = cli.add_string("ack", "ideal", "ideal|simulated");
+  const auto* trials = cli.add_int("trials", 5, "independent trials");
+  const auto* seed = cli.add_int("seed", 1, "base random seed");
+  const auto* csv = cli.add_flag("csv", "emit the summary as CSV");
+  const auto* dump = cli.add_string(
+      "dump", "", "write one full per-round JSON result to this file");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto factory =
+      make_factory(*topology, *workload, static_cast<std::uint32_t>(*size),
+                   static_cast<std::uint32_t>(*q));
+  if (!factory) {
+    std::fprintf(stderr, "unknown topology '%s'\n", topology->c_str());
+    return 1;
+  }
+
+  ProtocolConfig config;
+  config.rule = (*rule == "priority") ? ContentionRule::Priority
+                                      : ContentionRule::ServeFirst;
+  config.bandwidth = static_cast<std::uint16_t>(*bandwidth);
+  config.worm_length = static_cast<std::uint32_t>(*length);
+  config.conversion =
+      *conversion ? ConversionMode::Full : ConversionMode::None;
+  config.ack_mode = (*ack == "simulated") ? AckMode::Simulated : AckMode::Ideal;
+  config.max_rounds = 5000;
+
+  const auto aggregate = run_trials(
+      factory, paper_schedule_factory(config.worm_length, config.bandwidth),
+      config, static_cast<std::size_t>(*trials),
+      static_cast<std::uint64_t>(*seed));
+
+  if (!dump->empty()) {
+    // One representative run with full per-round detail.
+    const auto collection = factory(static_cast<std::uint64_t>(*seed));
+    const auto schedule = paper_schedule_factory(
+        config.worm_length, config.bandwidth)(collection);
+    TrialAndFailure protocol(collection, config, *schedule);
+    const auto result = protocol.run(static_cast<std::uint64_t>(*seed));
+    std::ofstream out(*dump);
+    write_result_json(out, result);
+    std::printf("wrote per-round JSON to %s\n", dump->c_str());
+  }
+
+  Table table(*topology + "-" + std::to_string(*size) + " " + *workload +
+              " (" + *rule + ", B=" + std::to_string(*bandwidth) +
+              ", L=" + std::to_string(*length) + ")");
+  table.set_header({"metric", "mean", "p95", "min", "max"});
+  const auto row = [&](const char* name, const SampleSet& set) {
+    if (set.count() == 0) return;
+    table.row()
+        .cell(name)
+        .cell(set.mean())
+        .cell(set.quantile(0.95))
+        .cell(set.min())
+        .cell(set.max());
+  };
+  row("rounds", aggregate.rounds);
+  row("charged time", aggregate.charged_time);
+  row("observed time", aggregate.actual_time);
+  row("path congestion", aggregate.path_congestion);
+  row("dilation", aggregate.dilation);
+  if (*csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  if (aggregate.failures > 0)
+    std::printf("WARNING: %u trial(s) hit the round limit\n",
+                aggregate.failures);
+  if (aggregate.rounds.count() > 0 && aggregate.dilation.count() > 0) {
+    ProblemShape shape;
+    shape.size = 0;  // filled from measured aggregates below
+    shape.dilation =
+        static_cast<std::uint32_t>(aggregate.dilation.mean() + 0.5);
+    shape.path_congestion =
+        static_cast<std::uint32_t>(aggregate.path_congestion.mean() + 0.5);
+    shape.worm_length = config.worm_length;
+    shape.bandwidth = config.bandwidth;
+    // n from a fresh instance (collections can differ per trial only in
+    // paths, not count).
+    shape.size = factory(static_cast<std::uint64_t>(*seed)).size();
+    std::printf("Thm 1.1/1.3 round shape for this instance: %.2f;"
+                " paper budget T: %.2f\n",
+                rounds_leveled(shape), paper_round_budget(shape));
+  }
+  return aggregate.failures == 0 ? 0 : 2;
+}

@@ -1,0 +1,111 @@
+// Face-off: every routing strategy in the library on one workload.
+//
+//   trial-and-failure  serve-first   (the paper's protocol, Thm 1.1/1.2)
+//   trial-and-failure  priority      (Thm 1.3)
+//   trial-and-failure  + conversion  (the [11] comparator, §4)
+//   static RWA batches                (single-hop baseline, §1.2)
+//   multi-hop segments                (bounded-hop extension, §4)
+//
+//   ./strategy_faceoff [--side 8] [--bandwidth 4] [--length 8] [--seed 3]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "opto/core/multi_hop.hpp"
+#include "opto/core/static_wdm.hpp"
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/util/cli.hpp"
+#include "opto/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace opto;
+
+  CliParser cli("strategy_faceoff",
+                "All routing strategies on one mesh workload");
+  const auto* side = cli.add_int("side", 8, "mesh side length");
+  const auto* bandwidth = cli.add_int("bandwidth", 4, "wavelengths");
+  const auto* length = cli.add_int("length", 8, "worm length");
+  const auto* seed = cli.add_int("seed", 3, "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto B = static_cast<std::uint16_t>(*bandwidth);
+  const auto L = static_cast<std::uint32_t>(*length);
+
+  auto topo = std::make_shared<MeshTopology>(
+      make_mesh({static_cast<std::uint32_t>(*side),
+                 static_cast<std::uint32_t>(*side)}));
+  Rng rng(static_cast<std::uint64_t>(*seed));
+  const auto collection = mesh_random_function(topo, rng);
+  const auto stats = collection.stats();
+  std::printf("workload: %s, n=%u, D=%u, C=%u, L=%u, B=%u\n",
+              topo->graph.name().c_str(), stats.size, stats.dilation,
+              stats.path_congestion, L, B);
+
+  ProblemShape shape;
+  shape.size = stats.size;
+  shape.dilation = stats.dilation;
+  shape.path_congestion = stats.path_congestion;
+  shape.worm_length = L;
+  shape.bandwidth = B;
+  PaperSchedule schedule(shape);
+
+  Table table("strategy face-off");
+  table.set_header({"strategy", "rounds", "time (steps)", "notes"});
+
+  const auto run_taf = [&](const char* name, ContentionRule rule,
+                           ConversionMode conversion) {
+    ProtocolConfig config;
+    config.rule = rule;
+    config.bandwidth = B;
+    config.worm_length = L;
+    config.conversion = conversion;
+    config.max_rounds = 2000;
+    TrialAndFailure protocol(collection, config, schedule);
+    const auto result = protocol.run(static_cast<std::uint64_t>(*seed));
+    table.row()
+        .cell(name)
+        .cell(result.rounds_used)
+        .cell(result.total_charged_time)
+        .cell(result.success ? "online, no global knowledge"
+                             : "INCOMPLETE");
+  };
+  run_taf("trial-and-failure serve-first", ContentionRule::ServeFirst,
+          ConversionMode::None);
+  run_taf("trial-and-failure priority", ContentionRule::Priority,
+          ConversionMode::None);
+  run_taf("trial-and-failure + conversion", ContentionRule::ServeFirst,
+          ConversionMode::Full);
+
+  {
+    const auto rwa = run_static_wdm(collection, B, L);
+    table.row()
+        .cell("static RWA batches")
+        .cell(rwa.batches)
+        .cell(rwa.total_time)
+        .cell("offline: " + std::to_string(rwa.colors) + " colors, needs "
+              "full collection up front");
+  }
+  {
+    MultiHopConfig config;
+    config.hop_spacing = std::max(1u, stats.dilation / 2);
+    config.bandwidth = B;
+    config.worm_length = L;
+    config.max_rounds = 2000;
+    MultiHopTrialAndFailure protocol(collection, config, schedule);
+    const auto result = protocol.run(static_cast<std::uint64_t>(*seed));
+    table.row()
+        .cell("multi-hop (2 segments)")
+        .cell(result.rounds_used)
+        .cell(result.total_charged_time)
+        .cell(result.success ? "electronic buffering at hop nodes"
+                             : "INCOMPLETE");
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe paper's pitch in one table: the serve-first protocol — the\n"
+      "simplest hardware — stays within a small factor of every smarter\n"
+      "or better-informed alternative.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Renders the DOT gallery (requires graphviz's `dot` on PATH).
+#
+#   scripts/render_gallery.sh [out-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-gallery}"
+
+if [ ! -x build/examples/gallery ]; then
+  echo "build/examples/gallery not found — build the project first" >&2
+  exit 1
+fi
+
+build/examples/gallery --out "$OUT"
+
+if command -v dot >/dev/null; then
+  for f in "$OUT"/*.dot; do
+    dot -Tsvg "$f" -o "${f%.dot}.svg"
+    echo "rendered ${f%.dot}.svg"
+  done
+else
+  echo "graphviz 'dot' not found; .dot files written to $OUT/ unrendered"
+fi

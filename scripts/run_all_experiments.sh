@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs every experiment binary and collects outputs (text + CSV/JSON).
+#
+#   scripts/run_all_experiments.sh [results-dir] [repro-scale]
+#
+# results-dir defaults to ./results, repro-scale to 1 (see REPRO_SCALE in
+# EXPERIMENTS.md). Build first: cmake -B build -G Ninja && cmake --build build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+RESULTS="${1:-results}"
+SCALE="${2:-1}"
+mkdir -p "$RESULTS"
+
+if [ ! -d build/bench ]; then
+  echo "build/bench not found — build the project first" >&2
+  exit 1
+fi
+
+for bench in build/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  case "$name" in
+    bench_perf_*) continue ;;  # micro-benchmarks run separately
+  esac
+  echo "== $name =="
+  REPRO_SCALE="$SCALE" OPTO_RESULTS_DIR="$RESULTS" \
+    "$bench" | tee "$RESULTS/$name.txt"
+done
+
+echo
+echo "micro-benchmarks:"
+build/bench/bench_perf_simulator --benchmark_min_time=0.1 \
+  | tee "$RESULTS/bench_perf_simulator.txt"
+
+echo
+echo "all outputs under $RESULTS/"

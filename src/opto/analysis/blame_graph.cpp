@@ -1,0 +1,82 @@
+#include "opto/analysis/blame_graph.hpp"
+
+#include <algorithm>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+BlameGraph BlameGraph::from_pass(const PassResult& pass) {
+  BlameGraph graph;
+  graph.blocker_.assign(pass.worms.size(), kInvalidWorm);
+  for (WormId id = 0; id < pass.worms.size(); ++id) {
+    if (pass.worms[id].status != WormStatus::Killed) continue;
+    const WormId blocker = pass.worms[id].blocked_by;
+    OPTO_ASSERT(blocker != kInvalidWorm && blocker < pass.worms.size());
+    graph.blocker_[id] = blocker;
+    ++graph.edges_;
+  }
+  return graph;
+}
+
+bool BlameGraph::has_cycle() const { return !cycles().empty(); }
+
+std::vector<std::vector<WormId>> BlameGraph::cycles() const {
+  // Functional graph: walk each chain with 3-color marking; a cycle is
+  // found when a walk re-enters its own in-progress segment.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> state(blocker_.size(), kWhite);
+  std::vector<std::vector<WormId>> found;
+
+  for (WormId start = 0; start < blocker_.size(); ++start) {
+    if (state[start] != kWhite) continue;
+    std::vector<WormId> stack;
+    WormId current = start;
+    while (current != kInvalidWorm && state[current] == kWhite) {
+      state[current] = kGray;
+      stack.push_back(current);
+      current = blocker_[current];
+    }
+    if (current != kInvalidWorm && state[current] == kGray) {
+      // The tail of `stack` from `current` onward is a cycle.
+      const auto it = std::find(stack.begin(), stack.end(), current);
+      std::vector<WormId> cycle(it, stack.end());
+      // Canonical rotation: smallest id first.
+      const auto min_it = std::min_element(cycle.begin(), cycle.end());
+      std::rotate(cycle.begin(), min_it, cycle.end());
+      found.push_back(std::move(cycle));
+    }
+    for (const WormId id : stack) state[id] = kBlack;
+  }
+  return found;
+}
+
+std::vector<std::uint32_t> BlameGraph::component_sizes() const {
+  // Union-find over blame edges.
+  std::vector<WormId> parent(blocker_.size());
+  for (WormId id = 0; id < parent.size(); ++id) parent[id] = id;
+  const auto find = [&parent](WormId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<char> has_edge(blocker_.size(), 0);
+  for (WormId id = 0; id < blocker_.size(); ++id) {
+    if (blocker_[id] == kInvalidWorm) continue;
+    has_edge[id] = 1;
+    has_edge[blocker_[id]] = 1;
+    parent[find(id)] = find(blocker_[id]);
+  }
+  std::vector<std::uint32_t> count(blocker_.size(), 0);
+  for (WormId id = 0; id < blocker_.size(); ++id)
+    if (has_edge[id]) ++count[find(id)];
+  std::vector<std::uint32_t> sizes;
+  for (const std::uint32_t c : count)
+    if (c > 0) sizes.push_back(c);
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+}  // namespace opto

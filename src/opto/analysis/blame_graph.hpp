@@ -1,0 +1,58 @@
+// Blame graphs: the empirical counterpart of the witness-tree argument.
+//
+// After a forward pass, every killed worm points at the worm that blocked
+// it (its "witness", Lemma 2.2). The resulting functional digraph is what
+// Definition 2.3 calls G_i for one round. Claim 2.6's structure is
+// directly checkable:
+//   * priority rule          → blame edges go to strictly higher ranks,
+//                              so the graph is acyclic;
+//   * leveled + serve-first  → a blocking cycle would need a worm to fail
+//                              before it blocks, impossible — acyclic;
+//   * short-cut free + serve-first → cycles CAN occur (Fig. 6 triangles);
+//                              they are exactly the livelocks behind the
+//                              Main Thm 1.2 separation.
+//
+// One discrete-time caveat: under TiePolicy::KillAll, two heads arriving
+// in the same flit step eliminate each other and cite each other, giving
+// a mutual 2-cycle. The paper's continuous-time model has no dead-heats;
+// use FirstWins when checking Claim 2.6's acyclicity exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opto/sim/simulator.hpp"
+
+namespace opto {
+
+class BlameGraph {
+ public:
+  /// Builds the blame graph of one pass: node per worm, one out-edge per
+  /// killed worm (to its blocker).
+  static BlameGraph from_pass(const PassResult& pass);
+
+  std::size_t size() const { return blocker_.size(); }
+
+  /// Blocker of worm `w` (kInvalidWorm if it was not killed).
+  WormId blocker(WormId w) const { return blocker_[w]; }
+
+  /// True iff following blame edges from some worm returns to it.
+  bool has_cycle() const;
+
+  /// All blame cycles, each as a worm-id sequence (canonical rotation:
+  /// starts at its smallest id).
+  std::vector<std::vector<WormId>> cycles() const;
+
+  /// Sizes of the weakly-connected components that contain at least one
+  /// blame edge (singletons without edges are skipped). These correspond
+  /// to the per-level components of Definition 2.3.
+  std::vector<std::uint32_t> component_sizes() const;
+
+  std::uint32_t edge_count() const { return edges_; }
+
+ private:
+  std::vector<WormId> blocker_;
+  std::uint32_t edges_ = 0;
+};
+
+}  // namespace opto

@@ -1,0 +1,139 @@
+#include "opto/analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+namespace {
+
+constexpr double kMinBase = 1.0001;
+
+double log2_clamped(double x) { return std::log2(std::max(2.0, x)); }
+
+}  // namespace
+
+double log_base(double base, double x) {
+  base = std::max(base, kMinBase);
+  x = std::max(x, 1.0);
+  return std::log2(x) / std::log2(base);
+}
+
+double bound_alpha(const ProblemShape& shape) {
+  const double L = std::max(1u, shape.worm_length);
+  return static_cast<double>(shape.path_congestion) +
+         static_cast<double>(shape.bandwidth) *
+             (static_cast<double>(shape.dilation) / L + 1.0) +
+         2.0;
+}
+
+double bound_beta(const ProblemShape& shape) {
+  const double congestion = std::max(1u, shape.path_congestion);
+  return bound_alpha(shape) / congestion + 2.0;
+}
+
+double rounds_leveled(const ProblemShape& shape) {
+  const double n = std::max(2u, shape.size);
+  const double loglog = log2_clamped(log_base(bound_beta(shape), n));
+  return std::sqrt(log_base(bound_alpha(shape), n)) + loglog;
+}
+
+double rounds_shortcut_free(const ProblemShape& shape) {
+  const double n = std::max(2u, shape.size);
+  const double loglog = log2_clamped(log_base(bound_beta(shape), n));
+  return log_base(bound_alpha(shape), n) + loglog;
+}
+
+double runtime_leveled(const ProblemShape& shape) {
+  const double L = shape.worm_length;
+  const double B = shape.bandwidth;
+  const double C = shape.path_congestion;
+  const double D = shape.dilation;
+  const double log_n = log2_clamped(shape.size);
+  return L * C / B + rounds_leveled(shape) * (D + L + L * log_n / B);
+}
+
+double runtime_shortcut_free(const ProblemShape& shape) {
+  const double L = shape.worm_length;
+  const double B = shape.bandwidth;
+  const double C = shape.path_congestion;
+  const double D = shape.dilation;
+  const double log_n = log2_clamped(shape.size);
+  return L * C / B +
+         rounds_shortcut_free(shape) * (D + L + L * std::pow(log_n, 1.5) / B);
+}
+
+double runtime_node_symmetric(std::uint32_t n, std::uint32_t diameter,
+                              std::uint32_t worm_length,
+                              std::uint16_t bandwidth) {
+  const double L = worm_length;
+  const double B = bandwidth;
+  const double D = std::max(1u, diameter);
+  const double rounds = std::sqrt(log_base(D, std::max(2u, n))) +
+                        log2_clamped(log2_clamped(n));
+  return L * D * D / B + rounds * (D + L);
+}
+
+double runtime_mesh(std::uint32_t side, std::uint32_t dims,
+                    std::uint32_t worm_length, std::uint16_t bandwidth) {
+  const double L = worm_length;
+  const double B = bandwidth;
+  const double d = dims;
+  const double n = std::max(2u, side);
+  const double rounds = std::sqrt(d) + log2_clamped(log2_clamped(n));
+  return L * d * n / B + rounds * (d * n + L + L * d * log2_clamped(n) / B);
+}
+
+double runtime_butterfly(std::uint32_t rows, std::uint32_t q,
+                         std::uint32_t worm_length, std::uint16_t bandwidth) {
+  const double L = worm_length;
+  const double B = bandwidth;
+  const double log_n = log2_clamped(rows);
+  const double q_log_n = std::max(2.0, static_cast<double>(q) * log_n);
+  const double rounds = std::sqrt(log_n / std::log2(q_log_n));
+  return L * q * log_n / B + rounds * (L + log_n + L * log_n / B);
+}
+
+double lower_rounds_staircase(const ProblemShape& shape) {
+  return std::sqrt(log_base(bound_alpha(shape), std::max(2u, shape.size)));
+}
+
+double lower_rounds_bundle(const ProblemShape& shape) {
+  return log2_clamped(
+      log_base(bound_beta(shape), std::max(2u, shape.size)));
+}
+
+double lower_rounds_triangle(const ProblemShape& shape) {
+  return log_base(bound_alpha(shape), std::max(2u, shape.size));
+}
+
+double paper_k0(const ProblemShape& shape, double gamma) {
+  const double n = std::max(2u, shape.size);
+  const double L = std::max(1u, shape.worm_length);
+  const double C = std::max(1u, shape.path_congestion);
+  const double base =
+      2.0 + shape.bandwidth * (shape.dilation / L + 1.0) / (16.0 * C);
+  return (2.0 + gamma) * std::log2(n) / std::log2(base) + 1.0;
+}
+
+double paper_round_budget(const ProblemShape& shape, double gamma) {
+  constexpr double kSixE = 6.0 * 2.718281828459045;
+  const double n = std::max(2u, shape.size);
+  const double log_n = std::log2(n);
+  const double L = std::max(1u, shape.worm_length);
+  const double C = std::max(1u, shape.path_congestion);
+  const double k0 = paper_k0(shape, gamma);
+  const double inner =
+      (std::max(C / log_n, log_n) +
+       shape.bandwidth * (shape.dilation / L + 1.0) / kSixE) /
+      std::sqrt(2.0 * k0);
+  // The formula is asymptotic; for small shapes the bracket can dip
+  // below 2, where it loses meaning. Clamping the base at 2 caps the
+  // budget at √(2(2+γ)·log n) + ⌈log k₀⌉ — the natural worst case.
+  const double log_inner = std::log2(std::max(inner, 2.0));
+  return std::sqrt(2.0 * (2.0 + gamma) * log_n / log_inner) +
+         std::ceil(std::log2(std::max(2.0, k0)));
+}
+
+}  // namespace opto

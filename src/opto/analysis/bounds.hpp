@@ -1,0 +1,70 @@
+// Closed-form evaluation of the paper's bounds, used by benches to print
+// predicted-vs-measured series (EXPERIMENTS.md).
+//
+// All logs are base 2 unless the base is explicit; bases are clamped to
+// > 1 + ε so the expressions stay finite on degenerate inputs (tiny n,
+// C̃ ≤ 1, ...). Bounds are asymptotic: only *shapes* (growth rates,
+// crossovers) are comparable with measurements, not absolute values.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/core/schedule.hpp"
+
+namespace opto {
+
+/// α = C̃ + B(D/L + 1) + 2   (Main Theorems 1.1–1.3).
+double bound_alpha(const ProblemShape& shape);
+
+/// β = α/C̃ + 2.
+double bound_beta(const ProblemShape& shape);
+
+/// log_base(x), with base clamped to ≥ 1.0001 and x to ≥ 1.
+double log_base(double base, double x);
+
+/// Round-count term of Thms 1.1/1.3: √(log_α n) + log log_β n.
+double rounds_leveled(const ProblemShape& shape);
+
+/// Round-count term of Thm 1.2: log_α n + log log_β n.
+double rounds_shortcut_free(const ProblemShape& shape);
+
+/// Full runtime bound of Main Theorem 1.1 / 1.3:
+/// L·C̃/B + rounds·(D + L + L·log n / B).
+double runtime_leveled(const ProblemShape& shape);
+
+/// Full runtime bound of Main Theorem 1.2 (log^{3/2} n term).
+double runtime_shortcut_free(const ProblemShape& shape);
+
+/// Theorem 1.5 (node-symmetric, priority routers):
+/// L·D²/B + (√(log_D n) + loglog n)(D + L).
+double runtime_node_symmetric(std::uint32_t n, std::uint32_t diameter,
+                              std::uint32_t worm_length,
+                              std::uint16_t bandwidth);
+
+/// Theorem 1.6 (d-dim mesh of side n, serve-first):
+/// L·d·n/B + (√d + loglog n)(d·n + L + L·d·log n/B).
+double runtime_mesh(std::uint32_t side, std::uint32_t dims,
+                    std::uint32_t worm_length, std::uint16_t bandwidth);
+
+/// Theorem 1.7 (log n-dim butterfly, q-functions, serve-first):
+/// L·q·log n/B + √(log n / log(q·log n))·(L + log n + L·log n/B).
+double runtime_butterfly(std::uint32_t rows, std::uint32_t q,
+                         std::uint32_t worm_length, std::uint16_t bandwidth);
+
+/// Lower-bound round terms (§2.2, §3.2) — same shapes as the upper bounds.
+double lower_rounds_staircase(const ProblemShape& shape);  ///< √(log_α n)
+double lower_rounds_bundle(const ProblemShape& shape);     ///< loglog_β n
+double lower_rounds_triangle(const ProblemShape& shape);   ///< log_α n
+
+/// The proofs' explicit constants (§2.1): k₀ and the round budget T the
+/// w.h.p. argument actually uses, with failure probability ≤ n^{−γ}.
+///   k₀ = (2+γ)·log n / log(2 + B(D/L+1)/(16·C̃)) + 1
+///   T  = √( 2(2+γ)·log n /
+///           log( (1/√(2k₀))·[max{C̃/log n, log n} + B(D/L+1)/(6e)] ) )
+///        + ⌈log k₀⌉
+/// Degenerate log bases are clamped; the result is a real-valued round
+/// count (benches compare its growth against measured rounds).
+double paper_k0(const ProblemShape& shape, double gamma = 1.0);
+double paper_round_budget(const ProblemShape& shape, double gamma = 1.0);
+
+}  // namespace opto

@@ -1,0 +1,84 @@
+#include "opto/analysis/congestion_theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+double lemma24_congestion(double path_congestion, std::uint32_t round,
+                          std::uint32_t n) {
+  OPTO_ASSERT(round >= 1);
+  const double floor_value = std::log2(std::max(2u, n));
+  return std::max(path_congestion / std::exp2(static_cast<double>(round - 1)),
+                  floor_value);
+}
+
+double lemma210_residual(double path_congestion, double bandwidth,
+                         double delta_hat, double worm_length,
+                         std::uint32_t round) {
+  OPTO_ASSERT(round >= 1);
+  if (worm_length <= 1.0) return 0.0;  // lemma needs L ≥ 2
+  const double gamma =
+      32.0 * bandwidth * delta_hat / ((worm_length - 1.0) * path_congestion);
+  if (gamma <= 1.0) return path_congestion;  // no decay regime
+  // log2(residual) = log2(C) − (2^{t−1} − 1)·log2(γ), computed in log-space
+  // to survive the doubly exponential exponent.
+  const double exponent = std::exp2(static_cast<double>(round - 1)) - 1.0;
+  const double log2_res =
+      std::log2(std::max(1e-300, path_congestion)) - exponent * std::log2(gamma);
+  if (log2_res < -1000.0) return 0.0;
+  return std::exp2(log2_res);
+}
+
+double lemma210_rounds_to(double path_congestion, double bandwidth,
+                          double delta_hat, double worm_length,
+                          double threshold) {
+  if (worm_length <= 1.0 || threshold <= 0.0) return 0.0;
+  const double gamma =
+      32.0 * bandwidth * delta_hat / ((worm_length - 1.0) * path_congestion);
+  if (gamma <= 1.0) return 0.0;
+  const double ratio = path_congestion / threshold;
+  if (ratio <= 1.0) return 0.0;
+  return std::log2(1.0 + std::log2(ratio) / std::log2(gamma));
+}
+
+double chernoff_upper_tail(double mu, double epsilon) {
+  OPTO_ASSERT(mu >= 0.0 && epsilon > 0.0);
+  const double log_bound =
+      mu * (epsilon - (1.0 + epsilon) * std::log1p(epsilon));
+  return std::min(1.0, std::exp(log_bound));
+}
+
+double chernoff_lower_tail(double mu, double epsilon) {
+  OPTO_ASSERT(mu >= 0.0 && epsilon > 0.0 && epsilon <= 1.0);
+  return std::min(1.0, std::exp(-epsilon * epsilon * mu / 2.0));
+}
+
+double pairwise_block_probability(double worm_length, double bandwidth,
+                                  double delta) {
+  OPTO_ASSERT(bandwidth >= 1.0 && delta >= 1.0);
+  return std::min(1.0, 2.0 * worm_length / (bandwidth * delta));
+}
+
+double lemma28_chain_probability(double worm_length, double bandwidth,
+                                 double delta, std::uint32_t chain_length) {
+  OPTO_ASSERT(bandwidth >= 1.0 && delta >= 1.0 && worm_length >= 1.0);
+  const double per_link =
+      std::min(1.0, (worm_length - 1.0) / (2.0 * bandwidth * delta));
+  return std::pow(per_link, static_cast<double>(chain_length));
+}
+
+std::vector<double> lemma29_optimal_split(double total, std::uint32_t rounds,
+                                          double alpha) {
+  OPTO_ASSERT(rounds >= 1 && total >= 0.0 && alpha >= 0.0);
+  const double n = rounds;
+  const double choose2 = n * (n + 1.0) / 2.0;
+  std::vector<double> split(rounds);
+  for (std::uint32_t i = 1; i <= rounds; ++i)
+    split[i - 1] = static_cast<double>(i) * (total + n * alpha) / choose2;
+  return split;
+}
+
+}  // namespace opto

@@ -1,0 +1,61 @@
+// Congestion-decay predictions used by the protocol analysis.
+//
+// Lemma 2.4: with Δ_t ∝ L·C̃_t/B, the surviving path congestion halves
+// every round until it floors at Θ(log n).
+//
+// Lemma 2.10: in a type-2 bundle the residual congestion after t rounds is
+// at least C̃ / γ^(2^{t-1} − 1) with γ = 32BΔ̂/((L−1)C̃) — doubly
+// exponential decay, which is where the loglog term comes from.
+//
+// Chernoff helpers follow Hagerup–Rüb [18], the form the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace opto {
+
+/// Lemma 2.4 prediction: C̃_t = max{C̃ / 2^{t-1}, log₂ n}.
+double lemma24_congestion(double path_congestion, std::uint32_t round,
+                          std::uint32_t n);
+
+/// Lemma 2.10 residual congestion lower bound after `round` rounds
+/// (1-based; round 1 = initial C̃). Computed in log-space.
+double lemma210_residual(double path_congestion, double bandwidth,
+                         double delta_hat, double worm_length,
+                         std::uint32_t round);
+
+/// Rounds until Lemma 2.10's residual drops below `threshold`:
+/// t ≥ log₂(1 + log_γ(C̃/threshold)).
+double lemma210_rounds_to(double path_congestion, double bandwidth,
+                          double delta_hat, double worm_length,
+                          double threshold);
+
+/// Chernoff upper-tail bound  Pr[X ≥ (1+ε)μ] ≤ (e^ε/(1+ε)^{1+ε})^μ
+/// for sums of independent 0/1 variables; returns the bound (≤ 1).
+double chernoff_upper_tail(double mu, double epsilon);
+
+/// Chernoff lower-tail bound  Pr[X ≤ (1−ε)μ] ≤ e^{−ε²μ/2}.
+double chernoff_lower_tail(double mu, double epsilon);
+
+/// Per-pair blocking probability bound used throughout §2:
+/// Pr[w₁ discarded by w₂] ≤ 2L/(BΔ) (serve-first, both directions) —
+/// clamped to 1.
+double pairwise_block_probability(double worm_length, double bandwidth,
+                                  double delta);
+
+/// Lemma 2.8's per-link blocking probability in a staircase: with the
+/// worms of the first i+1 paths active and delay range Δ ≥ L, the first
+/// i worms are all discarded with probability ≥ ((L−1)/(2BΔ))^i.
+double lemma28_chain_probability(double worm_length, double bandwidth,
+                                 double delta, std::uint32_t chain_length);
+
+/// Lemma 2.9's optimizer: maximize Π_{i=1..n} (x_i + α)^i subject to
+/// Σ x_i = y, x_i ≥ 0. The maximizing split is
+/// x_i + α = i·(y + n·α)/binom(n+1, 2). Used by the §2.2 lower bound to
+/// choose per-round delay ranges (α = L there). Returns the x_i + α
+/// values.
+std::vector<double> lemma29_optimal_split(double total, std::uint32_t rounds,
+                                          double alpha);
+
+}  // namespace opto

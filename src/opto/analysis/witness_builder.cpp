@@ -1,0 +1,140 @@
+#include "opto/analysis/witness_builder.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+std::uint32_t WitnessTree::total_distinct_worms() const {
+  std::set<PathId> all;
+  for (const WitnessLevel& level : levels)
+    all.insert(level.worms.begin(), level.worms.end());
+  return static_cast<std::uint32_t>(all.size());
+}
+
+std::vector<std::uint32_t> WitnessTree::level_sizes() const {
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(levels.size());
+  for (const WitnessLevel& level : levels)
+    sizes.push_back(static_cast<std::uint32_t>(level.worms.size()));
+  return sizes;
+}
+
+std::vector<std::uint32_t> WitnessTree::new_worm_counts() const {
+  const auto sizes = level_sizes();
+  std::vector<std::uint32_t> fresh;
+  fresh.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    fresh.push_back(i == 0 ? sizes[0] : sizes[i] - sizes[i - 1]);
+  return fresh;
+}
+
+WitnessTree build_witness_tree(const ProtocolResult& result, PathId worm,
+                               std::uint32_t rounds) {
+  OPTO_ASSERT(rounds >= 1 && rounds <= result.rounds.size());
+  OPTO_ASSERT_MSG(!result.rounds.front().launched.empty(),
+                  "run the protocol with keep_round_outcomes = true");
+  OPTO_ASSERT_MSG(result.completion_round[worm] == 0 ||
+                      result.completion_round[worm] > rounds,
+                  "worm completed before the requested depth");
+
+  // Per-round lookup: path id -> index into that round's outcome array.
+  std::vector<std::unordered_map<PathId, std::uint32_t>> index(rounds);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    const auto& launched = result.rounds[r].launched;
+    for (std::uint32_t i = 0; i < launched.size(); ++i)
+      index[r].emplace(launched[i], i);
+  }
+
+  const auto blocker_of = [&](PathId w, std::uint32_t round) -> PathId {
+    const auto& report = result.rounds[round - 1];
+    const auto it = index[round - 1].find(w);
+    OPTO_ASSERT_MSG(it != index[round - 1].end(),
+                    "worm was not launched in a round it should be active");
+    const WormOutcome& outcome = report.outcomes[it->second];
+    OPTO_ASSERT_MSG(outcome.status == WormStatus::Killed,
+                    "witness trees need every failure to be a kill "
+                    "(serve-first routers, ideal acks)");
+    OPTO_ASSERT(outcome.blocked_by != kInvalidWorm);
+    return report.launched[outcome.blocked_by];
+  };
+
+  WitnessTree tree;
+  tree.root = worm;
+  tree.depth = rounds;
+  tree.levels.resize(rounds + 1);
+  tree.levels[0].worms = {worm};
+
+  for (std::uint32_t i = 1; i <= rounds; ++i) {
+    // Level i records the collisions of round (depth − i + 1): every worm
+    // of level i−1 was active then, so it was prevented by some witness.
+    const std::uint32_t round = rounds - i + 1;
+    WitnessLevel& level = tree.levels[i];
+    std::set<PathId> worms(tree.levels[i - 1].worms.begin(),
+                           tree.levels[i - 1].worms.end());
+    for (const PathId w : tree.levels[i - 1].worms) {
+      const PathId witness = blocker_of(w, round);
+      level.collisions.emplace_back(w, witness);
+      worms.insert(witness);
+    }
+    level.worms.assign(worms.begin(), worms.end());
+  }
+  return tree;
+}
+
+bool is_valid_witness_tree(const WitnessTree& tree) {
+  if (tree.levels.empty() || tree.levels[0].worms.size() != 1) return false;
+  for (std::size_t i = 1; i < tree.levels.size(); ++i) {
+    const WitnessLevel& level = tree.levels[i];
+    const auto& prev = tree.levels[i - 1].worms;
+    // Doubling cap: m_i ≤ 2·m_{i−1}.
+    if (level.worms.size() > 2 * prev.size()) return false;
+    std::set<PathId> witnessed;
+    for (const auto& [w, witness] : level.collisions) {
+      if (w == witness) return false;  // Definition 2.1, first bullet
+      // w must be embedded one level up (third structural condition).
+      if (std::find(prev.begin(), prev.end(), w) == prev.end()) return false;
+      // Unique witness per old worm and level.
+      if (!witnessed.insert(w).second) return false;
+      // Both endpoints are embedded at this level.
+      if (std::find(level.worms.begin(), level.worms.end(), witness) ==
+          level.worms.end())
+        return false;
+    }
+    // Every old worm needs a witness at every level.
+    if (witnessed.size() != prev.size()) return false;
+  }
+  return true;
+}
+
+std::string witness_tree_to_dot(const WitnessTree& tree) {
+  std::ostringstream os;
+  os << "digraph witness {\n  rankdir=TB;\n  node [shape=circle,"
+        " fontsize=10];\n";
+  // One subgraph per level to force ranks; node ids are level-qualified
+  // since the same worm appears on several levels.
+  for (std::size_t i = 0; i < tree.levels.size(); ++i) {
+    os << "  { rank=same;";
+    for (const PathId worm : tree.levels[i].worms)
+      os << " \"L" << i << "w" << worm << "\" [label=\"" << worm << "\"];";
+    os << " }\n";
+  }
+  for (std::size_t i = 1; i < tree.levels.size(); ++i) {
+    // Continuation edges (a worm persists to the next level) are dotted;
+    // collision edges w -> witness are solid.
+    for (const PathId worm : tree.levels[i - 1].worms)
+      os << "  \"L" << i - 1 << "w" << worm << "\" -> \"L" << i << "w"
+         << worm << "\" [style=dotted, arrowhead=none];\n";
+    for (const auto& [worm, witness] : tree.levels[i].collisions)
+      os << "  \"L" << i - 1 << "w" << worm << "\" -> \"L" << i << "w"
+         << witness << "\" [color=\"#ee6677\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace opto

@@ -1,0 +1,64 @@
+// Empirical witness trees (Definitions 2.1–2.3).
+//
+// The upper-bound proofs hinge on this object: if a worm w₀ is still
+// active after t rounds, there is a witness tree W(t) — at every level i
+// each embedded worm w was prevented in round t−i+1 by some worm w',
+// giving w the two children (w, w') one level down (Lemma 2.2).
+//
+// This builder reconstructs the *actual* witness tree of a protocol run
+// (requires ProtocolConfig::keep_round_outcomes and serve-first routers
+// with ideal acks, where every failed worm has a recorded blocker) and
+// exposes the quantities the counting argument is about:
+//   m_i  — distinct worms embedded in level i,
+//   ℓ_i  — worms new at level i (m_i − m_{i−1}),
+//   k    — total distinct worms,
+// plus the per-level blame graphs G_i of Definition 2.3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opto/core/trial_and_failure.hpp"
+
+namespace opto {
+
+struct WitnessLevel {
+  /// Distinct worms (by path id) embedded in this level.
+  std::vector<PathId> worms;
+  /// Collision pairs (w, w') of this level: w' prevented w (the edges of
+  /// the level graph G_i).
+  std::vector<std::pair<PathId, PathId>> collisions;
+};
+
+struct WitnessTree {
+  PathId root = kInvalidPath;
+  std::uint32_t depth = 0;  ///< t — rounds the root stayed active
+  /// levels[i] covers round (depth − i); levels[0] = {root}.
+  std::vector<WitnessLevel> levels;
+
+  std::uint32_t total_distinct_worms() const;  ///< k
+  /// m_i per level.
+  std::vector<std::uint32_t> level_sizes() const;
+  /// ℓ_i = m_i − m_{i−1} (ℓ_0 = 1).
+  std::vector<std::uint32_t> new_worm_counts() const;
+};
+
+/// Builds the witness tree for `worm` over the first `rounds` rounds of
+/// the run. The worm must have been active throughout (it failed rounds
+/// 1..rounds). Requires result.rounds[*].launched/outcomes (see
+/// keep_round_outcomes) and that every failure is a kill with a recorded
+/// blocker — true under serve-first + ideal acks.
+WitnessTree build_witness_tree(const ProtocolResult& result, PathId worm,
+                               std::uint32_t rounds);
+
+/// Validity per Definition 2.1: every collision pair (w, w') has w ≠ w',
+/// at most one witness per old worm and level, and the level sets can
+/// only grow by doubling (m_{i+1} ≤ 2·m_i).
+bool is_valid_witness_tree(const WitnessTree& tree);
+
+/// Graphviz DOT rendering: one rank per level, collision edges w → w'
+/// (w' prevented w). Render with `dot -Tsvg`.
+std::string witness_tree_to_dot(const WitnessTree& tree);
+
+}  // namespace opto

@@ -1,0 +1,87 @@
+#include "opto/analysis/witness_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+namespace {
+
+constexpr double kE = 2.718281828459045;
+
+double ceil_log2(std::uint32_t k) {
+  return std::ceil(std::log2(static_cast<double>(std::max(2u, k))));
+}
+
+}  // namespace
+
+double log2_embedding_bound_leveled(const WitnessTreeParams& params,
+                                    std::uint32_t t, std::uint32_t k) {
+  OPTO_ASSERT(t >= 1 && k >= 1);
+  const auto& s = params.shape;
+  const double L = s.worm_length;
+  const double B = s.bandwidth;
+  const double C = std::max(1u, s.path_congestion);
+  const double delta1 = static_cast<double>(params.delta(1));
+  const double delta_t = static_cast<double>(params.delta(t));
+  const double n = std::max(2u, s.size);
+
+  double log2p = std::log2(n) + static_cast<double>(t);
+  log2p += (k - 1.0) * std::log2(std::max(1e-300, 16.0 * L * C / (B * delta1)));
+  const double levels = std::max(0.0, static_cast<double>(t) - ceil_log2(k));
+  log2p += 0.5 * levels * levels *
+           std::log2(std::max(1e-300, 6.0 * kE * L * t / (B * delta_t)));
+  return std::min(0.0, log2p);
+}
+
+double log2_embedding_bound_shortcut_free(const WitnessTreeParams& params,
+                                          std::uint32_t t, std::uint32_t k) {
+  OPTO_ASSERT(t >= 1 && k >= 1);
+  const auto& s = params.shape;
+  const double L = s.worm_length;
+  const double B = s.bandwidth;
+  const double C = std::max(1u, s.path_congestion);
+  const double delta1 = static_cast<double>(params.delta(1));
+  const double delta_t = static_cast<double>(params.delta(t));
+  const double n = std::max(2u, s.size);
+
+  double log2p = std::log2(n) + std::log2(2.0 * k);
+  log2p += (k - 1.0) * std::log2(std::max(1e-300, 8.0 * L * C / (B * delta1)));
+  const double levels = std::max(0.0, static_cast<double>(t) - ceil_log2(k));
+  log2p += levels * std::log2(std::max(1e-300, 26.0 * L / (B * delta_t)));
+  return std::min(0.0, log2p);
+}
+
+double witness_k0(const ProblemShape& shape, double gamma) {
+  const double n = std::max(2u, shape.size);
+  const double L = std::max(1u, shape.worm_length);
+  const double C = std::max(1u, shape.path_congestion);
+  const double base =
+      2.0 + shape.bandwidth * (shape.dilation / L + 1.0) / (16.0 * C);
+  return (2.0 + gamma) * std::log2(n) / std::log2(base) + 1.0;
+}
+
+double failure_probability_bound(const WitnessTreeParams& params,
+                                 std::uint32_t max_rounds, bool leveled,
+                                 double gamma) {
+  const double k0d = witness_k0(params.shape, gamma);
+  const auto k0 = static_cast<std::uint32_t>(
+      std::min(1e6, std::max(2.0, std::ceil(k0d))));
+  const auto bound = leveled ? log2_embedding_bound_leveled
+                             : log2_embedding_bound_shortcut_free;
+
+  // Case (1): some level of W(T) accumulates k ∈ [k0, 2k0] worms, t ≤ T.
+  // Case (2): the whole tree uses k ≤ k0 worms at depth T.
+  double total = 0.0;
+  const auto log_k0 =
+      static_cast<std::uint32_t>(std::max(1.0, std::floor(std::log2(k0d))));
+  for (std::uint32_t t = log_k0; t <= max_rounds; ++t)
+    for (std::uint32_t k = k0; k <= 2 * k0; k += std::max(1u, k0 / 16))
+      total += std::exp2(bound(params, t, k)) * std::max(1u, k0 / 16);
+  for (std::uint32_t k = 2; k <= k0; ++k)
+    total += std::exp2(bound(params, max_rounds, k));
+  return std::clamp(total, 0.0, 1.0);
+}
+
+}  // namespace opto

@@ -1,0 +1,54 @@
+// Numeric evaluation of the witness-tree probability bounds (§2.1, §3.1).
+//
+// The paper's delay-tree argument bounds the probability that any worm is
+// still active after t rounds by counting active embeddings into the
+// witness tree W(t). After simplification,
+//
+//   leveled / priority (§2.1):
+//     P(t,k) ≤ n · 2^t · (16·L·C̃/(B·Δ₁))^{k−1}
+//                     · (6e·L·t/(B·Δ_t))^{(t−⌈log k⌉)²/2}
+//
+//   short-cut free serve-first (§3.1):
+//     P(t,k) ≤ n · 2k · (8·L·C̃/(B·Δ₁))^{k−1}
+//                     · (26·L/(B·Δ_t))^{t−⌈log k⌉}
+//
+// Everything is evaluated in log₂-space; the aggregate failure probability
+// sums P over the two case families exactly as the proofs do. These
+// evaluators let benches print "theory says failure prob ≤ x" next to the
+// observed round counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "opto/core/schedule.hpp"
+
+namespace opto {
+
+struct WitnessTreeParams {
+  ProblemShape shape;
+  /// Δ per round (1-based), typically DeltaSchedule::delta.
+  std::function<SimTime(std::uint32_t)> delta;
+};
+
+/// log₂ P(t,k) for the leveled/priority bound; -inf-ish (very negative)
+/// when the bound is tiny. Returns ≥ 0 values clamped to 0 (bound ≥ 1 is
+/// vacuous).
+double log2_embedding_bound_leveled(const WitnessTreeParams& params,
+                                    std::uint32_t t, std::uint32_t k);
+
+/// log₂ P(t,k) for the short-cut-free serve-first bound.
+double log2_embedding_bound_shortcut_free(const WitnessTreeParams& params,
+                                          std::uint32_t t, std::uint32_t k);
+
+/// The proof's k₀ (§2.1): (2+γ)·log n / log(2 + B(D/L+1)/(16C̃)) + 1.
+double witness_k0(const ProblemShape& shape, double gamma = 1.0);
+
+/// Aggregate bound on Pr[protocol needs more than T rounds], following the
+/// two-case split of the proofs (case families over t ≤ T, k ranges).
+/// `leveled` selects which P(t,k) family to use. Clamped to [0, 1].
+double failure_probability_bound(const WitnessTreeParams& params,
+                                 std::uint32_t max_rounds, bool leveled,
+                                 double gamma = 1.0);
+
+}  // namespace opto

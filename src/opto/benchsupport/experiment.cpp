@@ -1,0 +1,130 @@
+#include "opto/benchsupport/experiment.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+#include "opto/par/parallel_for.hpp"
+#include "opto/rng/splitmix64.hpp"
+#include "opto/util/string_util.hpp"
+
+namespace opto {
+
+TrialAggregate run_trials(const CollectionFactory& factory,
+                          const ScheduleFactory& schedule_factory,
+                          const ProtocolConfig& config, std::size_t trials,
+                          std::uint64_t base_seed) {
+  TrialAggregate aggregate;
+  std::mutex merge_mutex;
+
+  parallel_for_chunked(0, trials, [&](std::size_t lo, std::size_t hi) {
+    TrialAggregate local;
+    for (std::size_t trial = lo; trial < hi; ++trial) {
+      const std::uint64_t seed =
+          splitmix64_once(base_seed + 0x9e3779b97f4a7c15ull * (trial + 1));
+      const PathCollection collection = factory(seed);
+      const auto schedule = schedule_factory(collection);
+      TrialAndFailure protocol(collection, config, *schedule);
+      const ProtocolResult result = protocol.run(seed ^ 0xabcdef);
+
+      if (!result.success) {
+        ++local.failures;
+        continue;
+      }
+      local.rounds.add(static_cast<double>(result.rounds_used));
+      local.charged_time.add(static_cast<double>(result.total_charged_time));
+      local.actual_time.add(static_cast<double>(result.total_actual_time));
+      local.path_congestion.add(
+          static_cast<double>(collection.path_congestion()));
+      local.dilation.add(static_cast<double>(collection.dilation()));
+      local.duplicates += result.duplicate_deliveries;
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    aggregate.rounds.merge(local.rounds);
+    aggregate.charged_time.merge(local.charged_time);
+    aggregate.actual_time.merge(local.actual_time);
+    aggregate.path_congestion.merge(local.path_congestion);
+    aggregate.dilation.merge(local.dilation);
+    aggregate.failures += local.failures;
+    aggregate.duplicates += local.duplicates;
+  });
+  return aggregate;
+}
+
+ScheduleFactory paper_schedule_factory(std::uint32_t worm_length,
+                                       std::uint16_t bandwidth,
+                                       PaperSchedule::Constants constants) {
+  return [worm_length, bandwidth,
+          constants](const PathCollection& collection)
+             -> std::unique_ptr<DeltaSchedule> {
+    ProblemShape shape;
+    shape.size = collection.size();
+    shape.dilation = collection.dilation();
+    shape.path_congestion = collection.path_congestion();
+    shape.worm_length = worm_length;
+    shape.bandwidth = bandwidth;
+    return std::make_unique<PaperSchedule>(shape, constants);
+  };
+}
+
+double repro_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("REPRO_SCALE")) {
+      if (auto value = parse_double(env))
+        return std::clamp(*value, 0.05, 100.0);
+    }
+    return 1.0;
+  }();
+  return scale;
+}
+
+std::size_t scaled_trials(std::size_t base) {
+  const double scaled = static_cast<double>(base) * repro_scale();
+  return static_cast<std::size_t>(std::max(1.0, scaled + 0.5));
+}
+
+namespace {
+
+std::string slugify(const std::string& title) {
+  std::string slug;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    else if (!slug.empty() && slug.back() != '-')
+      slug += '-';
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "table" : slug;
+}
+
+}  // namespace
+
+void print_experiment_table(const Table& table) {
+  table.print(std::cout);
+  const char* dir = std::getenv("OPTO_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "OPTO_RESULTS_DIR: cannot create '%s': %s\n", dir,
+                 ec.message().c_str());
+    return;
+  }
+  const std::string base =
+      (std::filesystem::path(dir) / slugify(table.title())).string();
+  if (std::ofstream csv(base + ".csv"); csv) table.print_csv(csv);
+  if (std::ofstream json(base + ".json"); json) table.print_json(json);
+}
+
+void print_experiment_banner(const std::string& id, const std::string& claim) {
+  std::printf("\n########################################################\n");
+  std::printf("# %s\n# %s\n", id.c_str(), claim.c_str());
+  std::printf("# trials scale: REPRO_SCALE=%.2f\n", repro_scale());
+  std::printf("########################################################\n");
+}
+
+}  // namespace opto

@@ -1,0 +1,66 @@
+// Experiment harness shared by all bench binaries.
+//
+// An experiment point builds a (possibly random) path collection per
+// trial, runs the Trial-and-Failure protocol, and aggregates rounds /
+// charged time / actual time over the trials. Trials run in parallel on
+// the global thread pool; every trial is deterministic in (base seed,
+// trial index).
+//
+// Output goes through util::Table so all benches print uniform,
+// greppable series. REPRO_SCALE (float env var, default 1) scales trial
+// counts; OPTO_THREADS bounds the pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/util/stats.hpp"
+#include "opto/util/table.hpp"
+
+namespace opto {
+
+/// Builds the collection for one trial. Deterministic in the seed.
+using CollectionFactory = std::function<PathCollection(std::uint64_t seed)>;
+
+/// Builds the schedule for a trial's collection (shapes can differ per
+/// trial for random workloads).
+using ScheduleFactory =
+    std::function<std::unique_ptr<DeltaSchedule>(const PathCollection&)>;
+
+struct TrialAggregate {
+  SampleSet rounds;          ///< rounds_used per successful trial
+  SampleSet charged_time;    ///< Σ (Δ_t + 2(D+L))
+  SampleSet actual_time;     ///< Σ per-round makespans
+  SampleSet path_congestion; ///< measured C̃ per trial
+  SampleSet dilation;
+  std::uint32_t failures = 0;  ///< trials hitting max_rounds
+  std::uint64_t duplicates = 0;
+};
+
+/// Runs `trials` protocol executions in parallel and aggregates.
+TrialAggregate run_trials(const CollectionFactory& factory,
+                          const ScheduleFactory& schedule_factory,
+                          const ProtocolConfig& config, std::size_t trials,
+                          std::uint64_t base_seed);
+
+/// Convenience: paper schedule from measured collection stats.
+ScheduleFactory paper_schedule_factory(std::uint32_t worm_length,
+                                       std::uint16_t bandwidth,
+                                       PaperSchedule::Constants constants = {});
+
+/// REPRO_SCALE env var (default 1.0), clamped to [0.05, 100].
+double repro_scale();
+
+/// max(1, round(base * repro_scale())).
+std::size_t scaled_trials(std::size_t base);
+
+/// Standard experiment header printed by every bench binary.
+void print_experiment_banner(const std::string& id, const std::string& claim);
+
+/// Prints the table to stdout and — when OPTO_RESULTS_DIR is set —
+/// persists it as <dir>/<slug-of-title>.csv and .json for scripting.
+void print_experiment_table(const Table& table);
+
+}  // namespace opto

@@ -1,0 +1,200 @@
+#include "opto/core/dynamic_traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "opto/graph/graph_algo.hpp"
+#include "opto/optical/worm.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/util/assert.hpp"
+
+namespace opto {
+namespace {
+
+/// Canonical BFS parent arrays for every source (graphs here are small).
+std::vector<std::vector<NodeId>> all_bfs_trees(const Graph& graph) {
+  std::vector<std::vector<NodeId>> trees(graph.node_count());
+  std::vector<NodeId> neighbors;
+  for (NodeId source = 0; source < graph.node_count(); ++source) {
+    auto& parent = trees[source];
+    parent.assign(graph.node_count(), kInvalidNode);
+    parent[source] = source;
+    std::deque<NodeId> queue{source};
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      neighbors.clear();
+      for (const EdgeId e : graph.out_links(u))
+        neighbors.push_back(graph.target(e));
+      std::sort(neighbors.begin(), neighbors.end());
+      for (const NodeId v : neighbors) {
+        if (parent[v] != kInvalidNode) continue;
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return trees;
+}
+
+std::vector<EdgeId> route_links(const Graph& graph,
+                                const std::vector<NodeId>& parent,
+                                NodeId source, NodeId destination) {
+  OPTO_ASSERT_MSG(parent[destination] != kInvalidNode, "disconnected graph");
+  std::vector<EdgeId> links;
+  for (NodeId w = destination; w != source; w = parent[w])
+    links.push_back(graph.find_link(parent[w], w));
+  std::reverse(links.begin(), links.end());
+  return links;
+}
+
+double exponential(Rng& rng, double mean) {
+  // Inverse CDF; 1 − U in (0, 1].
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+}  // namespace
+
+DynamicTrafficResult simulate_dynamic_traffic(
+    const Graph& graph, const DynamicTrafficConfig& config,
+    std::uint64_t seed) {
+  OPTO_ASSERT(config.bandwidth >= 1);
+  OPTO_ASSERT(config.offered_load > 0.0 && config.mean_holding_time > 0.0);
+  OPTO_ASSERT(graph.node_count() >= 2);
+  OPTO_ASSERT(config.arrivals > config.warmup);
+
+  const auto trees = all_bfs_trees(graph);
+  const std::uint16_t B = config.bandwidth;
+  const std::size_t slots =
+      static_cast<std::size_t>(graph.link_count()) * B;
+  std::vector<char> busy(slots, 0);
+  const auto slot = [B](EdgeId link, Wavelength w) {
+    return static_cast<std::size_t>(link) * B + w;
+  };
+
+  struct Departure {
+    double time;
+    std::uint32_t connection;
+    bool operator>(const Departure& other) const { return time > other.time; }
+  };
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+  // Accepted connections' held slots (freed on departure).
+  std::vector<std::vector<std::size_t>> held;
+
+  Rng rng(seed);
+  const double arrival_rate = config.offered_load / config.mean_holding_time;
+
+  DynamicTrafficResult result;
+  double now = 0.0;
+  double measure_start = -1.0;
+  double busy_integral = 0.0;
+  double last_event = 0.0;
+  std::size_t busy_count = 0;
+  double route_length_total = 0.0;
+
+  const auto advance_to = [&](double t) {
+    if (measure_start >= 0.0)
+      busy_integral += static_cast<double>(busy_count) *
+                       (t - std::max(last_event, measure_start));
+    last_event = t;
+  };
+
+  for (std::uint64_t arrival = 0; arrival < config.arrivals; ++arrival) {
+    now += exponential(rng, 1.0 / arrival_rate);
+
+    // Free departed connections first.
+    while (!departures.empty() && departures.top().time <= now) {
+      const Departure d = departures.top();
+      departures.pop();
+      advance_to(d.time);
+      for (const std::size_t s : held[d.connection]) {
+        OPTO_DASSERT(busy[s]);
+        busy[s] = 0;
+      }
+      busy_count -= held[d.connection].size();
+      held[d.connection].clear();
+    }
+    advance_to(now);
+    if (arrival == config.warmup) measure_start = now;
+
+    const auto source = static_cast<NodeId>(rng.next_below(graph.node_count()));
+    auto destination = static_cast<NodeId>(
+        rng.next_below(graph.node_count() - 1));
+    if (destination >= source) ++destination;
+    const auto links = route_links(graph, trees[source], source, destination);
+
+    const bool measured = arrival >= config.warmup;
+    if (measured) {
+      ++result.offered;
+      route_length_total += static_cast<double>(links.size());
+    }
+
+    // Wavelength selection.
+    std::vector<std::size_t> taken;
+    bool accepted = false;
+    if (!config.conversion) {
+      // Continuity: one wavelength free on every link, first-fit.
+      for (Wavelength w = 0; w < B && !accepted; ++w) {
+        bool free = true;
+        for (const EdgeId link : links)
+          if (busy[slot(link, w)]) {
+            free = false;
+            break;
+          }
+        if (!free) continue;
+        for (const EdgeId link : links) taken.push_back(slot(link, w));
+        accepted = true;
+      }
+    } else {
+      // Conversion: any free wavelength per link, first-fit per link.
+      accepted = true;
+      for (const EdgeId link : links) {
+        bool found = false;
+        for (Wavelength w = 0; w < B; ++w) {
+          if (busy[slot(link, w)]) continue;
+          taken.push_back(slot(link, w));
+          found = true;
+          break;
+        }
+        if (!found) {
+          accepted = false;
+          break;
+        }
+      }
+    }
+
+    if (!accepted) {
+      if (measured) ++result.blocked;
+      continue;
+    }
+    for (const std::size_t s : taken) busy[s] = 1;
+    busy_count += taken.size();
+    const auto connection = static_cast<std::uint32_t>(held.size());
+    held.push_back(std::move(taken));
+    departures.push({now + exponential(rng, config.mean_holding_time),
+                     connection});
+  }
+  advance_to(now);
+
+  result.blocking_probability =
+      result.offered > 0
+          ? static_cast<double>(result.blocked) /
+                static_cast<double>(result.offered)
+          : 0.0;
+  result.mean_route_length =
+      result.offered > 0
+          ? route_length_total / static_cast<double>(result.offered)
+          : 0.0;
+  const double duration = now - (measure_start >= 0.0 ? measure_start : now);
+  result.utilization =
+      duration > 0.0
+          ? busy_integral / (static_cast<double>(slots) * duration)
+          : 0.0;
+  return result;
+}
+
+}  // namespace opto

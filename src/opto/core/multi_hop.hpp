@@ -1,0 +1,93 @@
+// Bounded-hop routing extension (§4: "worms are allowed a bounded number
+// of hops (i.e., conversions to and from electrical form) in the
+// network"; the multi-hop strategies of §1.2).
+//
+// Each path is split into segments of at most `hop_spacing` links. A hop
+// node buffers the whole worm electronically, so per round an active worm
+// only attempts its *current* segment, as an independent optical worm
+// with fresh random delay and wavelength. Reaching the segment end stores
+// the worm at the hop node; the next round it attempts the next segment.
+//
+// The trade: segments shorten the exposure window (dilation D shrinks to
+// the hop spacing h, so each round is cheaper and less collision-prone),
+// but a worm needs ⌈|path|/h⌉ successful rounds instead of one — the
+// hop-congestion trade-off of Kranakis et al. [22].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opto/core/priority_assign.hpp"
+#include "opto/core/schedule.hpp"
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/paths/path_collection.hpp"
+#include "opto/sim/simulator.hpp"
+
+namespace opto {
+
+struct MultiHopConfig {
+  /// Maximum links per segment (≥ 1).
+  std::uint32_t hop_spacing = 4;
+  ContentionRule rule = ContentionRule::ServeFirst;
+  TiePolicy tie = TiePolicy::KillAll;
+  std::uint16_t bandwidth = 1;
+  std::uint32_t worm_length = 1;
+  std::uint32_t max_rounds = 256;
+  PriorityStrategy priorities = PriorityStrategy::RandomPermutation;
+};
+
+struct MultiHopRound {
+  std::uint32_t round = 0;
+  SimTime delta = 0;
+  std::uint32_t attempts = 0;            ///< segment launches this round
+  std::uint32_t segment_deliveries = 0;  ///< segments completed
+  std::uint32_t worms_finished = 0;      ///< worms whose last segment landed
+  SimTime charged_time = 0;              ///< Δ_t + 2(h + L)
+};
+
+struct MultiHopResult {
+  bool success = false;
+  std::uint32_t rounds_used = 0;
+  SimTime total_charged_time = 0;
+  std::uint32_t max_segments = 0;  ///< hops+1 of the longest path
+  std::vector<MultiHopRound> rounds;
+  std::vector<std::uint32_t> completion_round;  ///< per worm; 0 = never
+};
+
+class MultiHopTrialAndFailure {
+ public:
+  /// Collection and schedule must outlive the protocol object. The
+  /// schedule is queried per round exactly like in TrialAndFailure
+  /// (build it from the *segment* shape: dilation = hop spacing).
+  MultiHopTrialAndFailure(const PathCollection& collection,
+                          MultiHopConfig config,
+                          DeltaSchedule& schedule);
+
+  /// Explicit-segment variant: worm w travels worm_segments[w] in order
+  /// (consecutive segments must chain: destination = next source). Used
+  /// by lightpath layouts, where segment boundaries come from the virtual
+  /// topology rather than a fixed spacing; config.hop_spacing is ignored.
+  MultiHopTrialAndFailure(std::shared_ptr<const Graph> graph,
+                          std::vector<std::vector<Path>> worm_segments,
+                          MultiHopConfig config,
+                          DeltaSchedule& schedule);
+
+  MultiHopResult run(std::uint64_t seed);
+
+  /// The segment collection (one path per segment), e.g. to size the
+  /// schedule; segment_index(worm, k) gives its k-th segment's PathId.
+  const PathCollection& segments() const { return segments_; }
+  std::uint32_t segment_count(PathId worm) const {
+    return static_cast<std::uint32_t>(segment_ids_[worm].size());
+  }
+
+ private:
+  std::uint32_t worm_count_ = 0;
+  MultiHopConfig config_;
+  DeltaSchedule& schedule_;
+  PathCollection segments_;
+  std::vector<std::vector<PathId>> segment_ids_;  ///< per worm, in order
+  std::uint32_t max_segment_length_ = 0;
+};
+
+}  // namespace opto

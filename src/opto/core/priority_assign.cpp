@@ -1,0 +1,47 @@
+#include "opto/core/priority_assign.hpp"
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+const char* to_string(PriorityStrategy strategy) {
+  switch (strategy) {
+    case PriorityStrategy::RandomPermutation:
+      return "random-permutation";
+    case PriorityStrategy::FixedByPath:
+      return "fixed-by-path";
+    case PriorityStrategy::ReverseByPath:
+      return "reverse-by-path";
+    case PriorityStrategy::AdversarialByPath:
+      return "adversarial-by-path";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> assign_priorities(
+    PriorityStrategy strategy, std::span<const PathId> active_paths,
+    std::uint32_t total_paths, Rng& rng) {
+  std::vector<std::uint32_t> ranks(active_paths.size());
+  switch (strategy) {
+    case PriorityStrategy::RandomPermutation: {
+      const auto perm =
+          rng.permutation(static_cast<std::uint32_t>(active_paths.size()));
+      for (std::size_t i = 0; i < ranks.size(); ++i) ranks[i] = perm[i];
+      break;
+    }
+    case PriorityStrategy::FixedByPath:
+    case PriorityStrategy::AdversarialByPath:
+      for (std::size_t i = 0; i < ranks.size(); ++i)
+        ranks[i] = active_paths[i];
+      break;
+    case PriorityStrategy::ReverseByPath:
+      for (std::size_t i = 0; i < ranks.size(); ++i) {
+        OPTO_ASSERT(active_paths[i] < total_paths);
+        ranks[i] = total_paths - 1 - active_paths[i];
+      }
+      break;
+  }
+  return ranks;
+}
+
+}  // namespace opto

@@ -1,0 +1,37 @@
+// Priority-rank assignment for the priority rule.
+//
+// Main Theorem 1.3's upper bound holds for *any* rank assignment in which
+// no two worms meeting in a round share a rank — whether ranks change per
+// round, are random, or deterministic. We guarantee distinctness globally
+// by handing out a permutation of [active worms]. The adversarial strategy
+// reproduces the lower-bound setup of §2.2 (worm on path i gets rank i, so
+// the staircase always discards the longest possible prefix).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "opto/paths/path.hpp"
+#include "opto/rng/rng.hpp"
+
+namespace opto {
+
+enum class PriorityStrategy : std::uint8_t {
+  RandomPermutation,  ///< fresh random ranks each round (default)
+  FixedByPath,        ///< rank = path id (stable across rounds)
+  ReverseByPath,      ///< rank = n − path id
+  AdversarialByPath,  ///< alias of FixedByPath, named for the lower bound:
+                      ///< later staircase paths outrank earlier ones
+};
+
+const char* to_string(PriorityStrategy strategy);
+
+/// Ranks for the given active worms (parallel to `active_paths`); pairwise
+/// distinct.
+std::vector<std::uint32_t> assign_priorities(
+    PriorityStrategy strategy, std::span<const PathId> active_paths,
+    std::uint32_t total_paths, Rng& rng);
+
+}  // namespace opto

@@ -1,0 +1,71 @@
+#include "opto/core/result_json.hpp"
+
+#include "opto/util/json.hpp"
+
+namespace opto {
+
+void write_result_json(std::ostream& os, const ProtocolResult& result) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("success");
+  json.value(result.success);
+  json.key("rounds_used");
+  json.value(static_cast<std::uint64_t>(result.rounds_used));
+  json.key("total_charged_time");
+  json.value(static_cast<std::int64_t>(result.total_charged_time));
+  json.key("total_actual_time");
+  json.value(static_cast<std::int64_t>(result.total_actual_time));
+  json.key("duplicate_deliveries");
+  json.value(result.duplicate_deliveries);
+  json.key("completion_round");
+  json.begin_array();
+  for (const std::uint32_t round : result.completion_round)
+    json.value(static_cast<std::uint64_t>(round));
+  json.end_array();
+  json.key("rounds");
+  json.begin_array();
+  for (const RoundReport& report : result.rounds) {
+    json.begin_object();
+    json.key("round");
+    json.value(static_cast<std::uint64_t>(report.round));
+    json.key("delta");
+    json.value(static_cast<std::int64_t>(report.delta));
+    json.key("active_before");
+    json.value(static_cast<std::uint64_t>(report.active_before));
+    json.key("delivered");
+    json.value(static_cast<std::uint64_t>(report.delivered));
+    json.key("acknowledged");
+    json.value(static_cast<std::uint64_t>(report.acknowledged));
+    json.key("duplicates");
+    json.value(static_cast<std::uint64_t>(report.duplicates));
+    json.key("charged_time");
+    json.value(static_cast<std::int64_t>(report.charged_time));
+    json.key("forward_makespan");
+    json.value(static_cast<std::int64_t>(report.forward_makespan));
+    json.key("ack_makespan");
+    json.value(static_cast<std::int64_t>(report.ack_makespan));
+    json.key("active_congestion");
+    json.value(static_cast<std::uint64_t>(report.active_congestion));
+    json.key("metrics");
+    json.begin_object();
+    json.key("killed");
+    json.value(report.forward.killed);
+    json.key("truncated");
+    json.value(report.forward.truncated);
+    json.key("contentions");
+    json.value(report.forward.contentions);
+    json.key("retunes");
+    json.value(report.forward.retunes);
+    json.key("worm_steps");
+    json.value(report.forward.worm_steps);
+    json.key("link_busy_steps");
+    json.value(report.forward.link_busy_steps);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+}  // namespace opto

@@ -1,0 +1,18 @@
+// JSON serialization of protocol results — lets scripts consume full
+// per-round detail from optoroute_cli or custom drivers.
+#pragma once
+
+#include <ostream>
+
+#include "opto/core/trial_and_failure.hpp"
+
+namespace opto {
+
+/// Writes {"success":…, "rounds_used":…, "total_charged_time":…,
+/// "total_actual_time":…, "duplicate_deliveries":…, "completion_round":[…],
+/// "rounds":[{…}]} — round entries carry the delta, population counts, and
+/// forward-pass metrics (not the per-worm outcome arrays, which are
+/// debugging payloads).
+void write_result_json(std::ostream& os, const ProtocolResult& result);
+
+}  // namespace opto

@@ -1,0 +1,93 @@
+#include "opto/core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+PaperSchedule::PaperSchedule(ProblemShape shape, Constants constants)
+    : shape_(shape), constants_(constants) {
+  OPTO_ASSERT(shape_.bandwidth >= 1);
+  OPTO_ASSERT(shape_.worm_length >= 1);
+  log_n_ = std::max(1.0, std::log2(static_cast<double>(std::max(2u, shape_.size))));
+}
+
+SimTime PaperSchedule::delta(std::uint32_t round) const {
+  OPTO_ASSERT(round >= 1);
+  const double L = shape_.worm_length;
+  const double B = shape_.bandwidth;
+  const double C = shape_.path_congestion;
+  // C̃_t = max{C̃ / 2^{t-1}, log n}: the w.h.p. residual congestion after
+  // t−1 halving rounds (Lemma 2.4).
+  const double congestion_t =
+      std::max(C / std::exp2(static_cast<double>(round - 1)), log_n_);
+  const double range = std::max(
+      {constants_.congestion_factor * L * congestion_t / B,
+       constants_.congestion_factor * L * C / (B * log_n_),
+       constants_.log_floor_factor * L * log_n_ / B});
+  const double total = range + shape_.dilation + shape_.worm_length;
+  return std::max<SimTime>(1, static_cast<SimTime>(std::llround(total)));
+}
+
+std::string PaperSchedule::describe() const {
+  std::ostringstream os;
+  os << "paper-geometric(c=" << constants_.congestion_factor
+     << ",c'=" << constants_.log_floor_factor << ")";
+  return os.str();
+}
+
+FixedSchedule::FixedSchedule(SimTime delta) : delta_(delta) {
+  OPTO_ASSERT(delta >= 1);
+}
+
+SimTime FixedSchedule::delta(std::uint32_t /*round*/) const { return delta_; }
+
+std::string FixedSchedule::describe() const {
+  return "fixed(" + std::to_string(delta_) + ")";
+}
+
+SimTime NoDelaySchedule::delta(std::uint32_t /*round*/) const { return 1; }
+
+std::string NoDelaySchedule::describe() const { return "no-delay"; }
+
+AdaptiveSchedule::AdaptiveSchedule(SimTime initial, Tuning tuning)
+    : initial_(initial), tuning_(tuning), current_(initial) {
+  OPTO_ASSERT(initial >= 1);
+  OPTO_ASSERT(tuning_.grow > 1.0 && tuning_.shrink < 1.0 &&
+              tuning_.shrink > 0.0);
+  OPTO_ASSERT(tuning_.low_success <= tuning_.high_success);
+  OPTO_ASSERT(tuning_.min_delta >= 1 &&
+              tuning_.max_delta >= tuning_.min_delta);
+  current_ = std::clamp(current_, tuning_.min_delta, tuning_.max_delta);
+}
+
+SimTime AdaptiveSchedule::delta(std::uint32_t /*round*/) const {
+  return current_;
+}
+
+void AdaptiveSchedule::observe(std::uint32_t launched,
+                               std::uint32_t acknowledged) {
+  if (launched == 0) return;
+  const double success =
+      static_cast<double>(acknowledged) / static_cast<double>(launched);
+  double next = static_cast<double>(current_);
+  if (success < tuning_.low_success)
+    next *= tuning_.grow;
+  else if (success > tuning_.high_success)
+    next *= tuning_.shrink;
+  current_ = std::clamp(static_cast<SimTime>(std::llround(next)),
+                        tuning_.min_delta, tuning_.max_delta);
+}
+
+std::string AdaptiveSchedule::describe() const {
+  return "adaptive(start=" + std::to_string(initial_) + ")";
+}
+
+void AdaptiveSchedule::reset() {
+  current_ = std::clamp(initial_, tuning_.min_delta, tuning_.max_delta);
+}
+
+}  // namespace opto

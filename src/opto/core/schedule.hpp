@@ -1,0 +1,128 @@
+// Startup-delay range schedules Δ_t for the Trial-and-Failure protocol.
+//
+// The paper's analysis (§2.1) chooses, per round t,
+//
+//   Δ_t = max{ c·L·C̃_t/B, c·L·C̃/(B·log n), c'·L·log n/B } + D + L,
+//   C̃_t = max{ C̃ / 2^{t-1}, Θ(log n) },
+//
+// i.e. the range starts proportional to the congestion term L·C̃/B and
+// halves every round until it floors at the Θ(L·log n/B) + D + L level.
+// The paper's constants (32, 40e²) serve the w.h.p. bookkeeping; the
+// defaults here are small practical values and are configurable (ablation
+// A1 sweeps them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "opto/optical/worm.hpp"
+
+namespace opto {
+
+/// Static shape of a routing problem, as the schedules consume it.
+struct ProblemShape {
+  std::uint32_t size = 0;             ///< n — number of worms
+  std::uint32_t dilation = 0;         ///< D
+  std::uint32_t path_congestion = 0;  ///< C̃
+  std::uint32_t worm_length = 1;      ///< L
+  std::uint16_t bandwidth = 1;        ///< B
+};
+
+class DeltaSchedule {
+ public:
+  virtual ~DeltaSchedule() = default;
+
+  /// Delay range for round t (1-based); delays are drawn from [0, Δ_t).
+  /// Always ≥ 1 (a range of 1 means "no delay").
+  virtual SimTime delta(std::uint32_t round) const = 0;
+
+  /// Feedback hook, called by the protocol after every round with the
+  /// number of worms launched and the number acknowledged. Most schedules
+  /// ignore it; AdaptiveSchedule learns its range from it.
+  virtual void observe(std::uint32_t /*launched*/,
+                       std::uint32_t /*acknowledged*/) {}
+
+  virtual std::string describe() const = 0;
+};
+
+/// The paper's geometric-halving schedule.
+class PaperSchedule final : public DeltaSchedule {
+ public:
+  struct Constants {
+    double congestion_factor = 4.0;  ///< c  (paper: 32)
+    double log_floor_factor = 2.0;   ///< c' (paper: 40e²·δ)
+  };
+
+  explicit PaperSchedule(ProblemShape shape)
+      : PaperSchedule(shape, Constants{}) {}
+  PaperSchedule(ProblemShape shape, Constants constants);
+
+  SimTime delta(std::uint32_t round) const override;
+  std::string describe() const override;
+
+  const ProblemShape& shape() const { return shape_; }
+
+ private:
+  ProblemShape shape_;
+  Constants constants_;
+  double log_n_;
+};
+
+/// Constant delay range (baseline for ablation A1).
+class FixedSchedule final : public DeltaSchedule {
+ public:
+  explicit FixedSchedule(SimTime delta);
+  SimTime delta(std::uint32_t round) const override;
+  std::string describe() const override;
+
+ private:
+  SimTime delta_;
+};
+
+/// Degenerate schedule: everyone launches immediately (Δ_t = 1).
+class NoDelaySchedule final : public DeltaSchedule {
+ public:
+  SimTime delta(std::uint32_t round) const override;
+  std::string describe() const override;
+};
+
+/// Congestion-oblivious adaptive schedule.
+///
+/// The paper's Δ_t needs the path congestion C̃ up front (§2.1 sets
+/// Δ_t ∝ L·C̃_t/B). When C̃ is unknown, multiplicative
+/// increase/decrease on the observed per-round success rate finds the
+/// right range within O(log(L·C̃/B)) rounds: too many failures → the
+/// range was too tight, double it; (near-)everyone succeeded → halve for
+/// the (smaller) surviving population. One stateful instance drives one
+/// protocol run; reset() re-arms it.
+class AdaptiveSchedule final : public DeltaSchedule {
+ public:
+  struct Tuning {
+    double low_success = 0.5;   ///< below this, grow the range
+    double high_success = 0.9;  ///< above this, shrink it
+    double grow = 2.0;
+    double shrink = 0.5;
+    SimTime min_delta = 1;
+    SimTime max_delta = 1 << 24;
+  };
+
+  explicit AdaptiveSchedule(SimTime initial)
+      : AdaptiveSchedule(initial, Tuning{}) {}
+  AdaptiveSchedule(SimTime initial, Tuning tuning);
+
+  SimTime delta(std::uint32_t round) const override;
+  void observe(std::uint32_t launched,
+               std::uint32_t acknowledged) override;
+  std::string describe() const override;
+
+  void reset();
+  SimTime current() const { return current_; }
+
+ private:
+  SimTime initial_;
+  Tuning tuning_;
+  SimTime current_;
+};
+
+}  // namespace opto

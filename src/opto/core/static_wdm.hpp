@@ -1,0 +1,40 @@
+// Static-WDM baseline scheduler: the single-hop RWA strategy of §1.2.
+//
+// Given a wavelength assignment (coloring) of the collection, color
+// classes are packed into batches of B wavelengths; batch k launches all
+// its worms simultaneously in round k (no randomness, no retries —
+// collision-freedom is guaranteed by the coloring, and the simulator
+// verifies it).
+//
+// Cost model mirrors the trial-and-failure accounting: each batch costs
+// its simulated makespan (+1); with ⌈colors/B⌉ batches the total is
+// roughly ⌈(C̃+1)/B⌉·(D+L) — good when C̃ is small or fully known ahead
+// of time, but it requires global knowledge of the whole collection,
+// which is exactly what the trial-and-failure protocol avoids.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/paths/path_collection.hpp"
+#include "opto/paths/wavelength_assignment.hpp"
+#include "opto/sim/simulator.hpp"
+
+namespace opto {
+
+struct StaticWdmResult {
+  bool success = false;
+  std::uint32_t colors = 0;
+  std::uint32_t batches = 0;
+  SimTime total_time = 0;   ///< Σ batch makespans (+1 each)
+  std::uint64_t worm_steps = 0;
+};
+
+/// Runs the baseline: colors the collection (Welsh-Powell greedy), packs
+/// color classes into ⌈colors/B⌉ batches, and simulates each batch.
+/// Asserts (and reports failure) if any worm collides — a valid coloring
+/// can never collide, so this doubles as a checker.
+StaticWdmResult run_static_wdm(const PathCollection& collection,
+                               std::uint16_t bandwidth,
+                               std::uint32_t worm_length);
+
+}  // namespace opto

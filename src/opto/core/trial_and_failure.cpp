@@ -1,0 +1,163 @@
+#include "opto/core/trial_and_failure.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+const char* to_string(AckMode mode) {
+  return mode == AckMode::Ideal ? "ideal" : "simulated";
+}
+
+TrialAndFailure::TrialAndFailure(const PathCollection& collection,
+                                 ProtocolConfig config,
+                                 DeltaSchedule& schedule)
+    : collection_(collection),
+      config_(config),
+      schedule_(schedule),
+      dilation_(collection.dilation()) {
+  OPTO_ASSERT(config_.bandwidth >= 1);
+  OPTO_ASSERT(config_.worm_length >= 1);
+  OPTO_ASSERT(config_.max_rounds >= 1);
+}
+
+const PathCollection& TrialAndFailure::ensure_reverse_collection() {
+  if (reverse_collection_ == nullptr) {
+    reverse_collection_ =
+        std::make_unique<PathCollection>(collection_.graph_ptr());
+    reverse_collection_->reserve(collection_.size());
+    for (const Path& p : collection_.paths())
+      reverse_collection_->add(p.reversed());
+  }
+  return *reverse_collection_;
+}
+
+namespace {
+
+/// Path congestion of the active subset (Lemma 2.4 / 2.10 tracking).
+std::uint32_t active_path_congestion(const PathCollection& collection,
+                                     const std::vector<PathId>& active) {
+  PathCollection subset(collection.graph_ptr());
+  subset.reserve(active.size());
+  for (PathId id : active) subset.add(collection.path(id));
+  return subset.path_congestion();
+}
+
+}  // namespace
+
+ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
+  ProtocolResult result;
+  result.completion_round.assign(collection_.size(), 0);
+
+  std::vector<PathId> active(collection_.size());
+  std::iota(active.begin(), active.end(), 0u);
+
+  SimConfig sim_config;
+  sim_config.rule = config_.rule;
+  sim_config.tie = config_.tie;
+  sim_config.bandwidth = config_.bandwidth;
+  sim_config.conversion = config_.conversion;
+  sim_config.converters = config_.converters;
+  Simulator forward_sim(collection_, sim_config);
+
+  for (std::uint32_t round = 1;
+       round <= config_.max_rounds && !active.empty(); ++round) {
+    Rng rng = Rng::stream(seed, round);
+    const SimTime delta = schedule_.delta(round);
+    OPTO_ASSERT(delta >= 1);
+
+    RoundReport report;
+    report.round = round;
+    report.delta = delta;
+    report.active_before = static_cast<std::uint32_t>(active.size());
+    report.charged_time =
+        delta + 2 * static_cast<SimTime>(dilation_ + config_.worm_length);
+    if (config_.track_congestion)
+      report.active_congestion = active_path_congestion(collection_, active);
+
+    const auto ranks =
+        assign_priorities(config_.priorities, active, collection_.size(), rng);
+
+    // Launch every active worm with fresh random delay and wavelength.
+    std::vector<LaunchSpec> specs(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      LaunchSpec& spec = specs[i];
+      spec.path = active[i];
+      spec.start_time = static_cast<SimTime>(
+          rng.next_below(static_cast<std::uint64_t>(delta)));
+      spec.wavelength = static_cast<Wavelength>(
+          rng.next_below(config_.bandwidth));
+      spec.priority = ranks[i];
+      spec.length = config_.worm_length;
+    }
+
+    const PassResult forward = forward_sim.run(specs);
+    report.forward = forward.metrics;
+    report.forward_makespan = forward.metrics.makespan;
+    if (config_.keep_round_outcomes) {
+      report.launched = active;
+      report.outcomes = forward.worms;
+    }
+
+    // Determine which deliveries get acknowledged.
+    std::vector<char> acked(active.size(), 0);
+    if (config_.ack_mode == AckMode::Ideal) {
+      for (std::size_t i = 0; i < active.size(); ++i)
+        acked[i] = forward.worms[i].delivered_intact() ? 1 : 0;
+    } else {
+      // Simulated acks: 1..ack_length flits back along the reverse path in
+      // a separate band of B wavelengths, launched right after delivery.
+      const PathCollection& reverse = ensure_reverse_collection();
+      Simulator ack_sim(reverse, sim_config);
+      std::vector<LaunchSpec> ack_specs;
+      std::vector<std::size_t> ack_owner;  // index into `active`
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!forward.worms[i].delivered_intact()) continue;
+        LaunchSpec spec;
+        spec.path = active[i];
+        spec.start_time = forward.worms[i].finish_time + 1;
+        spec.wavelength = static_cast<Wavelength>(
+            rng.next_below(config_.bandwidth));
+        spec.priority = ranks[i];
+        spec.length = config_.ack_length;
+        ack_specs.push_back(spec);
+        ack_owner.push_back(i);
+      }
+      const PassResult ack_pass = ack_sim.run(ack_specs);
+      report.ack_makespan = ack_pass.metrics.makespan;
+      for (std::size_t j = 0; j < ack_specs.size(); ++j)
+        if (ack_pass.worms[j].delivered_intact()) acked[ack_owner[j]] = 1;
+    }
+
+    // Bookkeeping + retirement of acknowledged worms.
+    std::vector<PathId> still_active;
+    still_active.reserve(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const bool delivered = forward.worms[i].delivered_intact();
+      if (delivered) ++report.delivered;
+      if (acked[i]) {
+        ++report.acknowledged;
+        result.completion_round[active[i]] = round;
+      } else {
+        if (delivered) ++report.duplicates;  // will be re-sent next round
+        still_active.push_back(active[i]);
+      }
+    }
+    result.duplicate_deliveries += report.duplicates;
+    active = std::move(still_active);
+
+    result.total_charged_time += report.charged_time;
+    result.total_actual_time +=
+        std::max(report.forward_makespan, report.ack_makespan) + 1;
+    schedule_.observe(report.active_before, report.acknowledged);
+    result.rounds.push_back(report);
+    result.rounds_used = round;
+  }
+
+  result.success = active.empty();
+  return result;
+}
+
+}  // namespace opto

@@ -1,0 +1,106 @@
+// The Trial-and-Failure protocol (§1.3) — the paper's primary
+// contribution, driven on top of the wormhole simulator.
+//
+//   all n worms are declared active
+//   for t = 1 to T:
+//     each active worm launches with a random startup delay in [Δ_t]
+//     and a random wavelength in [B]
+//     every worm that completely reaches its destination sends an
+//     acknowledgement back; acknowledged worms turn inactive
+//
+// Round t is charged Δ_t + 2(D+L) steps (the paper's accounting); the
+// simulated makespans are also recorded. Acks run either idealized (the
+// paper's one-forward-pass simplification — its analysis covers acks by
+// doubling C̃) or fully simulated on the reverse paths in a separate band
+// of B wavelengths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "opto/core/priority_assign.hpp"
+#include "opto/core/schedule.hpp"
+#include "opto/paths/path_collection.hpp"
+#include "opto/sim/simulator.hpp"
+
+namespace opto {
+
+enum class AckMode : std::uint8_t { Ideal, Simulated };
+
+const char* to_string(AckMode mode);
+
+struct ProtocolConfig {
+  ContentionRule rule = ContentionRule::ServeFirst;
+  TiePolicy tie = TiePolicy::KillAll;
+  std::uint16_t bandwidth = 1;      ///< B (message band)
+  std::uint32_t worm_length = 1;    ///< L
+  std::uint32_t max_rounds = 128;
+  AckMode ack_mode = AckMode::Ideal;
+  std::uint32_t ack_length = 1;     ///< flits per acknowledgement
+  PriorityStrategy priorities = PriorityStrategy::RandomPermutation;
+  /// Recompute the active sub-collection's path congestion each round
+  /// (validates Lemma 2.4 / Lemma 2.10 decay; costs extra time).
+  bool track_congestion = false;
+  /// Wavelength-conversion capability of the routers (extension, §4).
+  ConversionMode conversion = ConversionMode::None;
+  std::vector<char> converters;  ///< per-node flags for Sparse mode
+  /// Retain each round's launch set and per-worm outcomes (needed by the
+  /// witness-tree builder in opto/analysis; costs memory per round).
+  bool keep_round_outcomes = false;
+};
+
+struct RoundReport {
+  std::uint32_t round = 0;          ///< 1-based
+  SimTime delta = 0;                ///< Δ_t used
+  std::uint32_t active_before = 0;
+  std::uint32_t delivered = 0;      ///< intact deliveries this round
+  std::uint32_t acknowledged = 0;   ///< deliveries whose ack returned
+  std::uint32_t duplicates = 0;     ///< delivered but ack lost (will retry)
+  SimTime charged_time = 0;         ///< Δ_t + 2(D+L)
+  SimTime forward_makespan = 0;
+  SimTime ack_makespan = 0;
+  std::uint32_t active_congestion = 0;  ///< iff track_congestion
+  PassMetrics forward;
+  /// Populated iff keep_round_outcomes: the worms launched this round (by
+  /// path id, parallel to `outcomes`).
+  std::vector<PathId> launched;
+  std::vector<WormOutcome> outcomes;
+};
+
+struct ProtocolResult {
+  bool success = false;             ///< all worms acknowledged
+  std::uint32_t rounds_used = 0;
+  SimTime total_charged_time = 0;   ///< Σ_t (Δ_t + 2(D+L))
+  SimTime total_actual_time = 0;    ///< Σ_t observed per-round makespan
+  std::uint64_t duplicate_deliveries = 0;
+  std::vector<RoundReport> rounds;
+  /// Round in which each worm was acknowledged (0 = never).
+  std::vector<std::uint32_t> completion_round;
+};
+
+class TrialAndFailure {
+ public:
+  /// Collection and schedule must outlive the protocol object.
+  /// The schedule is mutable: its observe() feedback hook is called after
+  /// every round (stateful schedules like AdaptiveSchedule rely on it).
+  TrialAndFailure(const PathCollection& collection, ProtocolConfig config,
+                  DeltaSchedule& schedule);
+
+  /// Runs the protocol to completion (or max_rounds); deterministic in
+  /// `seed`.
+  ProtocolResult run(std::uint64_t seed);
+
+  const ProtocolConfig& config() const { return config_; }
+
+ private:
+  const PathCollection& ensure_reverse_collection();
+
+  const PathCollection& collection_;
+  ProtocolConfig config_;
+  DeltaSchedule& schedule_;
+  std::uint32_t dilation_;
+  std::unique_ptr<PathCollection> reverse_collection_;  ///< lazily built
+};
+
+}  // namespace opto

@@ -1,0 +1,41 @@
+// Butterfly networks (Theorem 1.7's network).
+//
+// The d-dimensional butterfly has rows [2^d] and levels 0..d (the ordinary
+// butterfly) or levels [d] with wrap-around (the node-symmetric variant).
+// Node (level ℓ, row r) connects to (ℓ+1, r) — the "straight" edge — and to
+// (ℓ+1, r ^ (1 << ℓ)) — the "cross" edge that can correct bit ℓ of the row.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+struct ButterflyTopology {
+  std::uint32_t dim = 0;
+  bool wrap = false;
+  Graph graph;
+
+  std::uint32_t rows() const { return 1u << dim; }
+  std::uint32_t levels() const { return wrap ? dim : dim + 1; }
+
+  NodeId node_at(std::uint32_t level, std::uint32_t row) const;
+  std::uint32_t level_of(NodeId node) const;
+  std::uint32_t row_of(NodeId node) const;
+
+  /// Inputs are the level-0 nodes, outputs the last-level nodes.
+  NodeId input(std::uint32_t row) const { return node_at(0, row); }
+  NodeId output(std::uint32_t row) const {
+    return node_at(wrap ? 0 : dim, row);
+  }
+};
+
+/// Ordinary (non-wrapped) butterfly; dim in [1, 16].
+ButterflyTopology make_butterfly(std::uint32_t dim);
+
+/// Wrap-around butterfly (node-symmetric); dim in [3, 16]. Levels d-1 and 0
+/// are identified modulo d. (dim >= 3 keeps parallel edges away.)
+ButterflyTopology make_wrap_butterfly(std::uint32_t dim);
+
+}  // namespace opto

@@ -1,0 +1,13 @@
+// Complete graph K_n; useful as a degenerate test topology.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+/// n in [2, 2048] (quadratic edge count).
+Graph make_complete(std::uint32_t n);
+
+}  // namespace opto

@@ -1,0 +1,15 @@
+// Binary de Bruijn graph of dimension d, taken as an undirected network:
+// node u is adjacent to (2u + b) mod 2^d for b in {0,1}. Self-loops and
+// parallel edges of the directed de Bruijn graph are dropped.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+/// dim in [2, 20].
+Graph make_debruijn(std::uint32_t dim);
+
+}  // namespace opto

@@ -1,0 +1,33 @@
+// Explicit expander families (§1.4: "the best expanders that have an
+// explicit construction are all node-symmetric").
+//
+// * Circulant graphs C_n(S): node i adjacent to i ± s for s in S. Cayley
+//   graphs of Z_n — node-symmetric by construction; with well-chosen
+//   offsets they have good expansion and diameter O(n / max S + |S|).
+// * Margulis–Gabber–Galil graph on Z_m × Z_m: the classic explicit
+//   expander (degree ≤ 8): (x,y) ~ (x±2y, y), (x±(2y+1), y),
+//   (x, y±2x), (x, y±(2x+1)), all mod m. Rendered as a simple graph
+//   (duplicate edges and self-loops dropped).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+/// Circulant graph; offsets must be distinct values in [1, n/2].
+Graph make_circulant(std::uint32_t n, std::vector<std::uint32_t> offsets);
+
+/// Margulis–Gabber–Galil expander on m×m nodes; m in [2, 1024].
+Graph make_margulis_expander(std::uint32_t m);
+
+/// Cheeger-style edge expansion of a node subset sample: minimum over
+/// `samples` random subsets S with |S| ≤ n/2 of |∂S| / |S|. A crude lower
+/// witness of expansion used by tests and benches (exact expansion is
+/// NP-hard).
+double sampled_edge_expansion(const Graph& graph, std::uint32_t samples,
+                              std::uint64_t seed);
+
+}  // namespace opto

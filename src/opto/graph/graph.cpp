@@ -1,0 +1,43 @@
+#include "opto/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+Graph::Graph(NodeId node_count, std::string name)
+    : name_(std::move(name)), out_edges_(node_count) {}
+
+NodeId Graph::add_node() {
+  out_edges_.emplace_back();
+  return static_cast<NodeId>(out_edges_.size() - 1);
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  OPTO_ASSERT(u < node_count() && v < node_count());
+  OPTO_ASSERT_MSG(u != v, "self-loops are not valid optical links");
+  OPTO_ASSERT_MSG(!has_edge(u, v), "duplicate undirected edge");
+  const auto forward = static_cast<EdgeId>(targets_.size());
+  targets_.push_back(v);  // forward (even id): u -> v
+  targets_.push_back(u);  // reverse (odd id):  v -> u
+  out_edges_[u].push_back(forward);
+  out_edges_[v].push_back(forward ^ 1);
+  return forward;
+}
+
+NodeId Graph::max_degree() const {
+  NodeId best = 0;
+  for (const auto& adj : out_edges_)
+    best = std::max(best, static_cast<NodeId>(adj.size()));
+  return best;
+}
+
+EdgeId Graph::find_link(NodeId u, NodeId v) const {
+  OPTO_ASSERT(u < node_count() && v < node_count());
+  for (EdgeId e : out_edges_[u])
+    if (target(e) == v) return e;
+  return kInvalidEdge;
+}
+
+}  // namespace opto

@@ -1,0 +1,18 @@
+// Binary hypercube of dimension d (2^d nodes, node u ~ u ^ (1<<bit)).
+#pragma once
+
+#include <cstdint>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+/// dim in [1, 20]. Node ids are the binary labels.
+Graph make_hypercube(std::uint32_t dim);
+
+/// Neighbor of `node` across coordinate `bit`.
+inline NodeId hypercube_neighbor(NodeId node, std::uint32_t bit) {
+  return node ^ (NodeId{1} << bit);
+}
+
+}  // namespace opto

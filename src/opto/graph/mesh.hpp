@@ -1,0 +1,36 @@
+// d-dimensional mesh and torus topologies (Theorem 1.6's networks).
+//
+// Nodes are indexed in row-major order over the coordinate vector; the
+// topology object keeps the coordinate mapping so path selectors
+// (dimension-order routing) can work in coordinate space.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+struct MeshTopology {
+  std::vector<std::uint32_t> sides;  ///< side length per dimension
+  bool wrap = false;                 ///< torus when true
+  Graph graph;
+
+  std::uint32_t dimensions() const {
+    return static_cast<std::uint32_t>(sides.size());
+  }
+
+  NodeId node_at(std::span<const std::uint32_t> coords) const;
+  std::vector<std::uint32_t> coords_of(NodeId node) const;
+};
+
+/// d-dimensional mesh; sides[i] ≥ 1, at least one dimension.
+MeshTopology make_mesh(std::vector<std::uint32_t> sides);
+
+/// d-dimensional torus (wrap-around mesh); each side ≥ 3 so that the
+/// wrap edge is distinct from the mesh edge.
+MeshTopology make_torus(std::vector<std::uint32_t> sides);
+
+}  // namespace opto

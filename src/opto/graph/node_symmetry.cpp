@@ -1,0 +1,136 @@
+#include "opto/graph/node_symmetry.hpp"
+
+#include <algorithm>
+
+#include "opto/graph/graph_algo.hpp"
+#include "opto/util/assert.hpp"
+
+namespace opto {
+namespace {
+
+/// Per-node invariant: (degree, sorted multiset of neighbor degrees,
+/// sorted BFS distance histogram). Automorphisms preserve it, so mapped
+/// nodes must share it.
+struct NodeInvariant {
+  NodeId degree;
+  std::vector<NodeId> neighbor_degrees;
+  std::vector<std::uint32_t> distance_histogram;
+
+  bool operator==(const NodeInvariant&) const = default;
+};
+
+NodeInvariant invariant_of(const Graph& graph, NodeId node) {
+  NodeInvariant inv;
+  inv.degree = graph.degree(node);
+  for (EdgeId e : graph.out_links(node))
+    inv.neighbor_degrees.push_back(graph.degree(graph.target(e)));
+  std::sort(inv.neighbor_degrees.begin(), inv.neighbor_degrees.end());
+  const auto dist = bfs_distances(graph, node);
+  std::uint32_t max_dist = 0;
+  for (std::uint32_t d : dist)
+    if (d != kUnreachable) max_dist = std::max(max_dist, d);
+  inv.distance_histogram.assign(max_dist + 1, 0);
+  for (std::uint32_t d : dist)
+    if (d != kUnreachable) ++inv.distance_histogram[d];
+  return inv;
+}
+
+class AutomorphismSearch {
+ public:
+  AutomorphismSearch(const Graph& graph,
+                     const std::vector<NodeInvariant>& invariants)
+      : graph_(graph),
+        invariants_(invariants),
+        mapping_(graph.node_count(), kInvalidNode),
+        used_(graph.node_count(), false) {}
+
+  std::optional<std::vector<NodeId>> run(NodeId from, NodeId to) {
+    if (!(invariants_[from] == invariants_[to])) return std::nullopt;
+    mapping_[from] = to;
+    used_[to] = true;
+    order_.push_back(from);
+    if (extend(0)) return mapping_;
+    return std::nullopt;
+  }
+
+ private:
+  /// Picks the next unmapped node adjacent to an already-mapped one (keeps
+  /// the search connected so adjacency constraints prune immediately).
+  NodeId pick_next() const {
+    for (NodeId u : order_)
+      for (EdgeId e : graph_.out_links(u)) {
+        const NodeId v = graph_.target(e);
+        if (mapping_[v] == kInvalidNode) return v;
+      }
+    for (NodeId v = 0; v < graph_.node_count(); ++v)
+      if (mapping_[v] == kInvalidNode) return v;
+    return kInvalidNode;
+  }
+
+  bool consistent(NodeId node, NodeId image) const {
+    if (!(invariants_[node] == invariants_[image])) return false;
+    // Every mapped neighbor must map to a neighbor of the image, and every
+    // mapped non-neighbor to a non-neighbor.
+    for (NodeId u : order_) {
+      const bool adjacent = graph_.has_edge(node, u);
+      const bool image_adjacent = graph_.has_edge(image, mapping_[u]);
+      if (adjacent != image_adjacent) return false;
+    }
+    return true;
+  }
+
+  bool extend(std::size_t /*depth*/) {
+    const NodeId node = pick_next();
+    if (node == kInvalidNode) return true;  // everything mapped
+    for (NodeId image = 0; image < graph_.node_count(); ++image) {
+      if (used_[image] || !consistent(node, image)) continue;
+      mapping_[node] = image;
+      used_[image] = true;
+      order_.push_back(node);
+      if (extend(order_.size())) return true;
+      order_.pop_back();
+      used_[image] = false;
+      mapping_[node] = kInvalidNode;
+    }
+    return false;
+  }
+
+  const Graph& graph_;
+  const std::vector<NodeInvariant>& invariants_;
+  std::vector<NodeId> mapping_;
+  std::vector<bool> used_;
+  std::vector<NodeId> order_;
+};
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> find_automorphism(const Graph& graph,
+                                                     NodeId from, NodeId to,
+                                                     NodeId max_nodes) {
+  OPTO_ASSERT(from < graph.node_count() && to < graph.node_count());
+  OPTO_ASSERT_MSG(graph.node_count() <= max_nodes,
+                  "graph too large for automorphism search");
+  std::vector<NodeInvariant> invariants;
+  invariants.reserve(graph.node_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u)
+    invariants.push_back(invariant_of(graph, u));
+  AutomorphismSearch search(graph, invariants);
+  return search.run(from, to);
+}
+
+bool is_node_symmetric(const Graph& graph, NodeId max_nodes) {
+  if (graph.node_count() <= 1) return true;
+  OPTO_ASSERT_MSG(graph.node_count() <= max_nodes,
+                  "graph too large for node-symmetry check");
+  std::vector<NodeInvariant> invariants;
+  invariants.reserve(graph.node_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u)
+    invariants.push_back(invariant_of(graph, u));
+  for (NodeId v = 1; v < graph.node_count(); ++v) {
+    AutomorphismSearch search(graph, invariants);
+    if (!search.run(0, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace opto

@@ -1,0 +1,28 @@
+// Node-symmetry (vertex-transitivity) checking — Definition 1.4.
+//
+// A graph is node-symmetric iff for every pair (u, v) some automorphism
+// maps u to v; by transitivity it suffices to map node 0 to every v. The
+// checker runs a backtracking isomorphism search pruned by degree and
+// BFS-distance-multiset invariants. Exponential in the worst case — meant
+// for validating topology builders on the small instances used in tests,
+// not for production-size graphs (guarded by a node budget).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+/// Finds an automorphism with automorphism[from] == to, or nullopt.
+/// `max_nodes` guards against accidental use on big graphs.
+std::optional<std::vector<NodeId>> find_automorphism(const Graph& graph,
+                                                     NodeId from, NodeId to,
+                                                     NodeId max_nodes = 4096);
+
+/// True iff automorphisms map node 0 onto every node (vertex-transitive).
+bool is_node_symmetric(const Graph& graph, NodeId max_nodes = 512);
+
+}  // namespace opto

@@ -1,0 +1,20 @@
+// Random d-regular graphs via the configuration model (pairing model with
+// rejection): useful as "typical" bounded-degree networks for robustness
+// tests and as near-expanders (random regular graphs are expanders
+// w.h.p.). Deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/graph/graph.hpp"
+#include "opto/rng/rng.hpp"
+
+namespace opto {
+
+/// n·degree must be even; degree in [2, n-1]. Retries the pairing until
+/// it is simple (no loops/multi-edges); for degree ≪ n only a handful of
+/// retries are ever needed.
+Graph make_random_regular(std::uint32_t n, std::uint32_t degree,
+                          std::uint64_t seed);
+
+}  // namespace opto

@@ -1,0 +1,13 @@
+// Ring (cycle) of n nodes — the simplest node-symmetric network.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+/// n >= 3.
+Graph make_ring(std::uint32_t n);
+
+}  // namespace opto

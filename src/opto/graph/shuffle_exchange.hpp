@@ -1,0 +1,21 @@
+// Shuffle-exchange network of dimension d: node u has an "exchange" edge to
+// u ^ 1 and a "shuffle" edge to rotl_d(u) (cyclic left rotation of the
+// d-bit label). Fixed points of the shuffle are dropped.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+/// dim in [2, 20].
+Graph make_shuffle_exchange(std::uint32_t dim);
+
+/// d-bit cyclic left rotation.
+inline NodeId rotate_left(NodeId value, std::uint32_t dim) {
+  const NodeId mask = (NodeId{1} << dim) - 1;
+  return ((value << 1) | (value >> (dim - 1))) & mask;
+}
+
+}  // namespace opto

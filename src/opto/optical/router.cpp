@@ -1,0 +1,72 @@
+#include "opto/optical/router.hpp"
+
+#include <map>
+#include <set>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+const char* to_string(SwitchType type) {
+  return type == SwitchType::Elementary ? "elementary" : "generalized";
+}
+
+RouterCheck check_router_demands(SwitchType type, std::uint32_t bandwidth,
+                                 std::span<const RouterDemand> demands) {
+  RouterCheck check;
+  std::set<std::pair<std::uint32_t, Wavelength>> output_wavelengths;
+  std::map<std::uint32_t, std::uint32_t> input_output;  // elementary rule
+  std::set<std::pair<std::uint32_t, Wavelength>> input_wavelengths;
+
+  for (const RouterDemand& d : demands) {
+    if (d.wavelength >= bandwidth) {
+      check.reason = "wavelength exceeds router bandwidth";
+      return check;
+    }
+    if (!input_wavelengths.insert({d.input, d.wavelength}).second) {
+      check.reason = "one input fiber carries a wavelength twice";
+      return check;
+    }
+    if (!output_wavelengths.insert({d.output, d.wavelength}).second) {
+      check.reason = "two demands collide on one (output, wavelength)";
+      return check;
+    }
+    if (type == SwitchType::Elementary) {
+      auto [it, inserted] = input_output.emplace(d.input, d.output);
+      if (!inserted && it->second != d.output) {
+        check.reason =
+            "elementary switch cannot split one input across outputs";
+        return check;
+      }
+    }
+  }
+  check.ok = true;
+  return check;
+}
+
+std::optional<std::vector<std::uint32_t>> configure_2x2(
+    SwitchType type, std::uint32_t bandwidth,
+    std::span<const RouterDemand> demands) {
+  for (const RouterDemand& d : demands)
+    OPTO_ASSERT_MSG(d.input < 2 && d.output < 2, "2x2 router ports are 0/1");
+  const RouterCheck check = check_router_demands(type, bandwidth, demands);
+  if (!check.ok) return std::nullopt;
+  // Configuration table: entry [input * bandwidth + wavelength] = output.
+  // Unused slots default to the straight-through output (== input).
+  std::vector<std::uint32_t> config(2 * bandwidth);
+  for (std::uint32_t input = 0; input < 2; ++input)
+    for (std::uint32_t w = 0; w < bandwidth; ++w)
+      config[input * bandwidth + w] = input;
+  for (const RouterDemand& d : demands)
+    config[d.input * bandwidth + d.wavelength] = d.output;
+  if (type == SwitchType::Elementary) {
+    // Re-impose the single-output rule on defaults: route the whole input
+    // to the output its demands chose.
+    for (const RouterDemand& d : demands)
+      for (std::uint32_t w = 0; w < bandwidth; ++w)
+        config[d.input * bandwidth + w] = d.output;
+  }
+  return config;
+}
+
+}  // namespace opto

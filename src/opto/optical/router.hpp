@@ -1,0 +1,66 @@
+// Router composition model (Figures 1–3).
+//
+// A router is built from wavelength-selective switches (one per input
+// fiber) feeding couplers (one per output fiber). This module captures the
+// switch taxonomy of §1.2 and checks whether a desired per-(input fiber,
+// wavelength) → output fiber assignment is realizable:
+//
+//   elementary switch  : all wavelengths arriving on an input must leave
+//                        through the same output (wire switching only).
+//   generalized switch : different wavelengths from one input may take
+//                        different outputs (wavelength switching).
+//
+// The trial-and-failure protocol needs generalized switches: two worms on
+// different wavelengths may enter the same router input and diverge. The
+// validator below lets tests demonstrate exactly that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "opto/optical/worm.hpp"
+
+namespace opto {
+
+enum class SwitchType : std::uint8_t { Elementary, Generalized };
+
+const char* to_string(SwitchType type);
+
+/// One desired pass-through: wavelength w arriving on `input` must leave
+/// via `output`. No wavelength conversion: the wavelength is preserved.
+struct RouterDemand {
+  std::uint32_t input = 0;
+  Wavelength wavelength = 0;
+  std::uint32_t output = 0;
+};
+
+/// Result of a realizability check.
+struct RouterCheck {
+  bool ok = false;
+  std::string reason;  ///< first violated constraint when !ok
+};
+
+/// Checks whether a demand set can be configured on a router with the
+/// given switch type and `bandwidth` wavelengths per fiber.
+///
+/// Constraints verified:
+///  * wavelengths are < bandwidth;
+///  * no output carries the same wavelength twice (that is a collision —
+///    the couplers' contention rules exist precisely because demand sets
+///    violating this arise at runtime);
+///  * elementary switches additionally require all demands of one input to
+///    share a single output.
+RouterCheck check_router_demands(SwitchType type, std::uint32_t bandwidth,
+                                 std::span<const RouterDemand> demands);
+
+/// A 2×2 router convenience (Figure 1): two inputs, two outputs.
+/// Returns the configuration per (input, wavelength) — the output each
+/// wavelength is switched to — or nullopt if not realizable.
+std::optional<std::vector<std::uint32_t>> configure_2x2(
+    SwitchType type, std::uint32_t bandwidth,
+    std::span<const RouterDemand> demands);
+
+}  // namespace opto

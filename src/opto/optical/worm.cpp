@@ -1,0 +1,19 @@
+#include "opto/optical/worm.hpp"
+
+namespace opto {
+
+const char* to_string(WormStatus status) {
+  switch (status) {
+    case WormStatus::Waiting:
+      return "waiting";
+    case WormStatus::Running:
+      return "running";
+    case WormStatus::Delivered:
+      return "delivered";
+    case WormStatus::Killed:
+      return "killed";
+  }
+  return "?";
+}
+
+}  // namespace opto

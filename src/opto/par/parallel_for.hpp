@@ -1,0 +1,31 @@
+// Blocking data-parallel loops over an index range, built on ThreadPool.
+//
+//   parallel_for(0, trials, [&](std::size_t i) { results[i] = run(i); });
+//
+// Each index is independent; the caller owns any sharing discipline (the
+// usual pattern writes to results[i] only). Indices are distributed in
+// contiguous blocks so per-thread accumulators stay cache-friendly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "opto/par/thread_pool.hpp"
+
+namespace opto {
+
+/// Runs body(i) for i in [begin, end) across the pool; returns when all
+/// iterations finished. Runs inline when the range is tiny or the pool has
+/// a single thread.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+/// Block-parallel variant handing each worker a [lo, hi) chunk; useful when
+/// per-call overhead matters or the body wants a per-chunk accumulator.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    ThreadPool* pool = nullptr);
+
+}  // namespace opto

@@ -1,0 +1,51 @@
+// Fixed-size thread pool.
+//
+// The simulator itself is single-threaded per instance; the pool exists so
+// the experiment harness can run independent trials (different seeds /
+// parameter points) concurrently. Tasks are plain std::function<void()>;
+// exceptions escaping a task abort (simulation code reports errors through
+// results, not exceptions).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opto {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide pool, sized by OPTO_THREADS env var when set.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace opto

@@ -1,0 +1,33 @@
+// Canonical shortest-path selection for arbitrary (in particular
+// node-symmetric) networks — the stand-in for the short-cut free path
+// system of [Meyer auf der Heide & Scheideler] cited by Theorem 1.5.
+//
+// Paths come from parent-pointer BFS with smallest-node-id tie-breaking,
+// so the system is deterministic and has optimal dilation (= diameter).
+// With the per-source BFS-tree variant, all paths out of one source form a
+// tree, so no pair of same-source paths can meet, separate, and meet again.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+#include "opto/paths/path.hpp"
+#include "opto/paths/path_collection.hpp"
+
+namespace opto {
+
+/// Canonical shortest path (smallest-id tie-breaks).
+Path bfs_shortest_path(const Graph& graph, NodeId source, NodeId destination);
+
+/// Builds a collection routing each (source, destination) request along
+/// the canonical shortest path. BFS trees are computed once per distinct
+/// source.
+PathCollection bfs_collection(
+    std::shared_ptr<const Graph> graph,
+    std::span<const std::pair<NodeId, NodeId>> requests);
+
+}  // namespace opto

@@ -1,0 +1,39 @@
+#include "opto/paths/butterfly_paths.hpp"
+
+#include <vector>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+Path butterfly_io_path(const ButterflyTopology& topo, std::uint32_t in_row,
+                       std::uint32_t out_row) {
+  OPTO_ASSERT(!topo.wrap);
+  OPTO_ASSERT(in_row < topo.rows() && out_row < topo.rows());
+  std::vector<NodeId> nodes;
+  nodes.reserve(topo.dim + 1);
+  std::uint32_t row = in_row;
+  nodes.push_back(topo.node_at(0, row));
+  for (std::uint32_t level = 0; level < topo.dim; ++level) {
+    const std::uint32_t bit = 1u << level;
+    if ((row & bit) != (out_row & bit)) row ^= bit;  // cross edge
+    nodes.push_back(topo.node_at(level + 1, row));
+  }
+  OPTO_ASSERT(row == out_row);
+  return Path::from_nodes(topo.graph, nodes);
+}
+
+PathCollection butterfly_io_collection(
+    std::shared_ptr<const ButterflyTopology> topo,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> row_requests) {
+  // Aliasing constructor: the collection's graph pointer keeps the whole
+  // topology alive.
+  std::shared_ptr<const Graph> graph(topo, &topo->graph);
+  PathCollection collection(std::move(graph));
+  collection.reserve(row_requests.size());
+  for (const auto& [in_row, out_row] : row_requests)
+    collection.add(butterfly_io_path(*topo, in_row, out_row));
+  return collection;
+}
+
+}  // namespace opto

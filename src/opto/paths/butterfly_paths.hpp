@@ -1,0 +1,29 @@
+// Butterfly path selection (Theorem 1.7).
+//
+// In the ordinary d-dimensional butterfly there is a *unique* input→output
+// path from input row r to output row s: at level ℓ take the cross edge
+// iff bit ℓ of r and s differ. The resulting path system is leveled (the
+// butterfly levels are the leveling), which is exactly why Theorem 1.7 can
+// invoke Main Theorem 1.1.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "opto/graph/butterfly.hpp"
+#include "opto/paths/path.hpp"
+#include "opto/paths/path_collection.hpp"
+
+namespace opto {
+
+/// The unique input(row r) → output(row s) path.
+Path butterfly_io_path(const ButterflyTopology& topo, std::uint32_t in_row,
+                       std::uint32_t out_row);
+
+/// Collection routing each (input row, output row) request.
+PathCollection butterfly_io_collection(
+    std::shared_ptr<const ButterflyTopology> topo,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> row_requests);
+
+}  // namespace opto

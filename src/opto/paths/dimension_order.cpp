@@ -1,0 +1,39 @@
+#include "opto/paths/dimension_order.hpp"
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+std::vector<NodeId> dimension_order_route(const MeshTopology& topo,
+                                          NodeId source, NodeId destination) {
+  auto coords = topo.coords_of(source);
+  const auto goal = topo.coords_of(destination);
+  std::vector<NodeId> route{source};
+  for (std::uint32_t d = 0; d < topo.dimensions(); ++d) {
+    const std::uint32_t side = topo.sides[d];
+    while (coords[d] != goal[d]) {
+      std::int64_t step = +1;
+      if (topo.wrap) {
+        // Shorter wrap direction; ties resolved toward +1.
+        const std::uint32_t forward =
+            (goal[d] + side - coords[d]) % side;  // steps going +1
+        if (forward > side - forward) step = -1;
+      } else {
+        step = goal[d] > coords[d] ? +1 : -1;
+      }
+      coords[d] = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(coords[d]) + step + side) % side);
+      route.push_back(topo.node_at(coords));
+    }
+  }
+  OPTO_ASSERT(route.back() == destination);
+  return route;
+}
+
+Path dimension_order_path(const MeshTopology& topo, NodeId source,
+                          NodeId destination) {
+  const auto route = dimension_order_route(topo, source, destination);
+  return Path::from_nodes(topo.graph, route);
+}
+
+}  // namespace opto

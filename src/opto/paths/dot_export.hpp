@@ -1,0 +1,25 @@
+// Graphviz DOT export of networks and path collections — a debugging and
+// documentation aid (render with `dot -Tsvg`).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "opto/graph/graph.hpp"
+#include "opto/paths/path_collection.hpp"
+
+namespace opto {
+
+/// Writes the undirected network.
+void write_dot(std::ostream& os, const Graph& graph);
+
+/// Writes the network with the collection's paths highlighted: each
+/// directed link used by ≥1 path becomes a colored directed edge labeled
+/// with its load; unused edges stay grey and undirected.
+void write_dot(std::ostream& os, const PathCollection& collection);
+
+/// Convenience: render to a string.
+std::string to_dot(const Graph& graph);
+std::string to_dot(const PathCollection& collection);
+
+}  // namespace opto

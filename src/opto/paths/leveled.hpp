@@ -1,0 +1,27 @@
+// Leveled path collections (§1.1).
+//
+// A collection is leveled if the nodes touched by its paths can be
+// assigned levels such that every traversed link goes from level i to
+// level i+1. Equivalently, the directed graph of traversed links admits a
+// consistent unit-increment potential on every weakly connected component.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "opto/paths/path_collection.hpp"
+
+namespace opto {
+
+/// Returns a per-node level assignment (nodes not on any path get level 0),
+/// shifted so each component's minimum used level is 0; or nullopt if the
+/// collection is not leveled.
+std::optional<std::vector<std::uint32_t>> level_assignment(
+    const PathCollection& collection);
+
+inline bool is_leveled(const PathCollection& collection) {
+  return level_assignment(collection).has_value();
+}
+
+}  // namespace opto

@@ -1,0 +1,167 @@
+#include "opto/paths/lowerbound_structures.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+StructureBuilder::StructureBuilder() : graph_(std::make_unique<Graph>()) {
+  graph_->set_name("lower-bound-structures");
+}
+
+std::uint32_t StructureBuilder::staircase_step(std::uint32_t worm_length) {
+  OPTO_ASSERT(worm_length >= 1);
+  return (worm_length - 1) / 2 + 1;
+}
+
+std::uint32_t StructureBuilder::triangle_offset(std::uint32_t worm_length) {
+  return worm_length / 2;
+}
+
+std::uint32_t StructureBuilder::path_count() const {
+  return static_cast<std::uint32_t>(node_lists_.size());
+}
+
+namespace {
+
+/// Adds the undirected edge if missing; either way the caller traverses it
+/// a→b (both sharers traverse shared edges in the same direction by
+/// construction).
+void ensure_edge(Graph& graph, NodeId a, NodeId b) {
+  if (!graph.has_edge(a, b)) graph.add_edge(a, b);
+}
+
+}  // namespace
+
+void StructureBuilder::add_staircase(std::uint32_t paths,
+                                     std::uint32_t path_length,
+                                     std::uint32_t worm_length) {
+  OPTO_ASSERT(paths >= 1);
+  const std::uint32_t d = staircase_step(worm_length);
+  OPTO_ASSERT_MSG(path_length >= d + 1,
+                  "staircase needs path_length >= step + 1");
+
+  // Canonical key: (path i, position pos); positions 0 and 1 of path i>0
+  // are positions d and d+1 of path i-1 (the shared edge), recursively.
+  const auto canon = [d](std::uint32_t i,
+                         std::uint32_t pos) -> std::pair<std::uint32_t, std::uint32_t> {
+    while (i > 0 && pos <= 1) {
+      --i;
+      pos += d;
+    }
+    return {i, pos};
+  };
+
+  std::unordered_map<std::uint64_t, NodeId> nodes;
+  const std::uint64_t stride = path_length + 2;
+  const auto node_of = [&](std::uint32_t i, std::uint32_t pos) {
+    const auto [ci, cpos] = canon(i, pos);
+    const std::uint64_t key = static_cast<std::uint64_t>(ci) * stride + cpos;
+    auto it = nodes.find(key);
+    if (it == nodes.end()) it = nodes.emplace(key, graph_->add_node()).first;
+    return it->second;
+  };
+
+  for (std::uint32_t i = 0; i < paths; ++i) {
+    std::vector<NodeId> list;
+    list.reserve(path_length + 1);
+    for (std::uint32_t pos = 0; pos <= path_length; ++pos)
+      list.push_back(node_of(i, pos));
+    for (std::uint32_t pos = 0; pos < path_length; ++pos)
+      ensure_edge(*graph_, list[pos], list[pos + 1]);
+    node_lists_.push_back(std::move(list));
+  }
+}
+
+void StructureBuilder::add_bundle(std::uint32_t width,
+                                  std::uint32_t path_length) {
+  OPTO_ASSERT(width >= 1 && path_length >= 1);
+  std::vector<NodeId> chain;
+  chain.reserve(path_length + 1);
+  for (std::uint32_t pos = 0; pos <= path_length; ++pos)
+    chain.push_back(graph_->add_node());
+  for (std::uint32_t pos = 0; pos < path_length; ++pos)
+    graph_->add_edge(chain[pos], chain[pos + 1]);
+  for (std::uint32_t copy = 0; copy < width; ++copy)
+    node_lists_.push_back(chain);
+}
+
+void StructureBuilder::add_triangle(std::uint32_t path_length,
+                                    std::uint32_t worm_length) {
+  OPTO_ASSERT_MSG(worm_length >= 2, "blocking cycles need L >= 2");
+  const std::uint32_t m = triangle_offset(worm_length);
+  OPTO_ASSERT_MSG(path_length >= m + 2,
+                  "triangle needs path_length >= offset + 2");
+
+  // Canonical key: path j's positions m and m+1 are path (j+1 mod 3)'s
+  // positions 0 and 1, recursively (the blocking cycle).
+  const auto canon = [m](std::uint32_t j,
+                         std::uint32_t pos) -> std::pair<std::uint32_t, std::uint32_t> {
+    while (pos == m || pos == m + 1) {
+      j = (j + 1) % 3;
+      pos -= m;
+    }
+    return {j, pos};
+  };
+
+  std::unordered_map<std::uint64_t, NodeId> nodes;
+  const std::uint64_t stride = path_length + 2;
+  const auto node_of = [&](std::uint32_t j, std::uint32_t pos) {
+    const auto [cj, cpos] = canon(j, pos);
+    const std::uint64_t key = static_cast<std::uint64_t>(cj) * stride + cpos;
+    auto it = nodes.find(key);
+    if (it == nodes.end()) it = nodes.emplace(key, graph_->add_node()).first;
+    return it->second;
+  };
+
+  for (std::uint32_t j = 0; j < 3; ++j) {
+    std::vector<NodeId> list;
+    list.reserve(path_length + 1);
+    for (std::uint32_t pos = 0; pos <= path_length; ++pos)
+      list.push_back(node_of(j, pos));
+    for (std::uint32_t pos = 0; pos < path_length; ++pos)
+      ensure_edge(*graph_, list[pos], list[pos + 1]);
+    node_lists_.push_back(std::move(list));
+  }
+}
+
+PathCollection StructureBuilder::build() && {
+  std::shared_ptr<const Graph> graph(std::move(graph_));
+  PathCollection collection(graph);
+  collection.reserve(node_lists_.size());
+  for (const auto& nodes : node_lists_)
+    collection.add(Path::from_nodes(*graph, nodes));
+  return collection;
+}
+
+PathCollection make_staircase_collection(std::uint32_t structures,
+                                         std::uint32_t paths_per_structure,
+                                         std::uint32_t path_length,
+                                         std::uint32_t worm_length) {
+  StructureBuilder builder;
+  for (std::uint32_t s = 0; s < structures; ++s)
+    builder.add_staircase(paths_per_structure, path_length, worm_length);
+  return std::move(builder).build();
+}
+
+PathCollection make_bundle_collection(std::uint32_t structures,
+                                      std::uint32_t width,
+                                      std::uint32_t path_length) {
+  StructureBuilder builder;
+  for (std::uint32_t s = 0; s < structures; ++s)
+    builder.add_bundle(width, path_length);
+  return std::move(builder).build();
+}
+
+PathCollection make_triangle_collection(std::uint32_t structures,
+                                        std::uint32_t path_length,
+                                        std::uint32_t worm_length) {
+  StructureBuilder builder;
+  for (std::uint32_t s = 0; s < structures; ++s)
+    builder.add_triangle(path_length, worm_length);
+  return std::move(builder).build();
+}
+
+}  // namespace opto

@@ -1,0 +1,57 @@
+// A routing path: the fixed sequence of directed optical links a worm
+// traverses from its source to its destination.
+//
+// Paths are simple (no repeated node): the paper's collections are; its
+// open problems explicitly leave non-simple paths out of scope.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+using PathId = std::uint32_t;
+inline constexpr PathId kInvalidPath = ~PathId{0};
+
+class Path {
+ public:
+  Path() = default;
+
+  /// Builds a path from a node sequence; every consecutive pair must be an
+  /// edge of `graph` and nodes must be distinct. A single-node sequence
+  /// gives a zero-length path (source == destination).
+  static Path from_nodes(const Graph& graph, std::span<const NodeId> nodes);
+
+  /// Builds directly from directed link ids (must be consecutive).
+  static Path from_links(const Graph& graph, std::vector<EdgeId> links);
+
+  NodeId source() const { return source_; }
+  NodeId destination() const { return destination_; }
+
+  /// Number of links (the paper's path length; dilation contributes this).
+  std::uint32_t length() const {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+  bool empty() const { return links_.empty(); }
+
+  std::span<const EdgeId> links() const { return {links_.data(), links_.size()}; }
+  EdgeId link(std::uint32_t i) const { return links_[i]; }
+
+  /// Reconstructs the node sequence (length() + 1 nodes).
+  std::vector<NodeId> nodes(const Graph& graph) const;
+
+  /// The reverse path (acknowledgement route).
+  Path reversed() const;
+
+  bool operator==(const Path&) const = default;
+
+ private:
+  NodeId source_ = kInvalidNode;
+  NodeId destination_ = kInvalidNode;
+  std::vector<EdgeId> links_;
+};
+
+}  // namespace opto

@@ -1,0 +1,87 @@
+// Path collection — the routing problem instance of the paper (§1.1).
+//
+// A collection is a multiset of paths in one graph, characterized by
+//   n  — its size,
+//   D  — its dilation (longest path), and
+//   C̃  — its *path congestion*: max over paths p of the number of other
+//        paths sharing a directed link with p (the quantity the paper's
+//        bounds are stated in — NOT the per-edge congestion).
+//
+// Collisions in the optical model happen on directed links (each
+// undirected edge is two independent fibers), so all sharing here is
+// directed-link sharing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+#include "opto/paths/path.hpp"
+
+namespace opto {
+
+struct CollectionStats {
+  std::uint32_t size = 0;             ///< n
+  std::uint32_t dilation = 0;         ///< D
+  std::uint32_t edge_congestion = 0;  ///< max paths per directed link
+  std::uint32_t path_congestion = 0;  ///< C̃
+  double avg_length = 0.0;
+};
+
+class PathCollection {
+ public:
+  PathCollection() = default;
+  explicit PathCollection(std::shared_ptr<const Graph> graph)
+      : graph_(std::move(graph)) {}
+
+  const Graph& graph() const { return *graph_; }
+  std::shared_ptr<const Graph> graph_ptr() const { return graph_; }
+
+  void add(Path path);
+  void reserve(std::size_t n) { paths_.reserve(n); }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(paths_.size()); }
+  bool empty() const { return paths_.empty(); }
+  const Path& path(PathId id) const { return paths_[id]; }
+  std::span<const Path> paths() const { return {paths_.data(), paths_.size()}; }
+
+  std::uint32_t dilation() const;
+
+  /// Number of paths using each directed link; indexed by EdgeId.
+  std::vector<std::uint32_t> link_loads() const;
+
+  /// Max over links of link load.
+  std::uint32_t edge_congestion() const;
+
+  /// Exact path congestion C̃ (counts *other* paths; a path sharing a link
+  /// with k identical copies of itself counts those copies).
+  /// O(Σ_e load(e)²) worst case — fine at experiment scale; the bundle
+  /// structures report their C̃ analytically instead.
+  std::uint32_t path_congestion() const;
+
+  /// Per-path congestion values (same definition as above).
+  std::vector<std::uint32_t> path_congestions() const;
+
+  /// Estimated C̃ from a uniform sample of `samples` paths: the max of the
+  /// sampled paths' exact congestions. A lower bound on the true C̃ that
+  /// converges quickly in the workloads here (congestion concentrates);
+  /// use when the exact O(Σ load²) computation is too heavy.
+  std::uint32_t path_congestion_sampled(std::uint32_t samples,
+                                        std::uint64_t seed) const;
+
+  CollectionStats stats() const;
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  std::vector<Path> paths_;
+};
+
+/// Builds a single-graph collection from explicit node sequences
+/// (test/demo helper).
+PathCollection collection_from_node_lists(
+    std::shared_ptr<const Graph> graph,
+    std::span<const std::vector<NodeId>> node_lists);
+
+}  // namespace opto

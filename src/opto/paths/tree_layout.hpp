@@ -1,0 +1,75 @@
+// Lightpath layouts for trees — the trees entry of the Gerstel–Zaks
+// virtual-path-layout family [13,14].
+//
+// Construction: heavy-path decomposition. Every tree edge is either on a
+// heavy path (joining each node to its largest-subtree child) or a light
+// edge; descending a light edge at least halves the subtree size, so any
+// root-to-node walk crosses ≤ log₂ n light edges. Each heavy path gets
+// the base-b chain tunnel ladder; each light edge gets a single 1-link
+// tunnel.
+//
+// Routing src→dst climbs to the LCA (chain tunnels along each heavy path,
+// one light tunnel per path switch) and descends symmetrically, giving
+//
+//   wavelengths per fiber ≤ log_b(longest heavy path) + 1
+//   hops ≤ O(log n · (b−1)·log_b n)
+//
+// — the tree counterpart of the chain/mesh trade-off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+#include "opto/paths/path.hpp"
+#include "opto/paths/path_collection.hpp"
+#include "opto/rng/rng.hpp"
+
+namespace opto {
+
+struct TreeLayout {
+  std::shared_ptr<const Graph> graph;
+  NodeId root = 0;
+  std::vector<NodeId> parent;        ///< parent[root] == root
+  std::vector<std::uint32_t> depth;
+  std::uint32_t base = 2;
+
+  /// Heavy-path bookkeeping: head of each node's heavy path, and the
+  /// node's position on it (head = position 0, growing downward).
+  std::vector<NodeId> path_head;
+  std::vector<std::uint32_t> path_position;
+  /// Nodes of each heavy path, top-down, indexed by the head node.
+  std::vector<std::vector<NodeId>> path_nodes;  ///< indexed by head
+  /// Tunnel spans available on a heavy path of the given length.
+  std::vector<std::uint32_t> spans_for(std::uint32_t length) const;
+};
+
+/// Builds the layout for the tree given by the parent array (parent of
+/// the root = itself). The graph is created fresh; base ≥ 2.
+TreeLayout make_tree_layout(const std::vector<NodeId>& parent,
+                            std::uint32_t base);
+
+/// A uniformly random recursive tree on n nodes (node i's parent drawn
+/// from [0, i)); handy test/bench input.
+std::vector<NodeId> random_tree_parents(std::uint32_t n, Rng& rng);
+
+/// The tunnel chain src→dst (up to the LCA, then down). Empty iff
+/// src == dst.
+std::vector<Path> tree_layout_route(const TreeLayout& layout, NodeId src,
+                                    NodeId dst);
+
+/// All tunnels (both directions): the chain ladders of every heavy path
+/// plus one tunnel per light edge.
+PathCollection tree_layout_lightpaths(const TreeLayout& layout);
+
+/// Max tunnels over any directed physical link.
+std::uint32_t tree_layout_wavelength_congestion(const TreeLayout& layout);
+
+/// Worst-case hops over all ordered pairs (quadratic; test/bench sizes).
+std::uint32_t tree_layout_max_hops(const TreeLayout& layout);
+
+/// The lowest common ancestor of a and b.
+NodeId tree_lca(const TreeLayout& layout, NodeId a, NodeId b);
+
+}  // namespace opto

@@ -1,0 +1,27 @@
+#include "opto/paths/valiant.hpp"
+
+#include <unordered_set>
+
+#include "opto/paths/dimension_order.hpp"
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+Path valiant_mesh_path(const MeshTopology& topo, NodeId source,
+                       NodeId destination, Rng& rng,
+                       std::uint32_t max_attempts) {
+  const NodeId count = topo.graph.node_count();
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const auto via = static_cast<NodeId>(rng.next_below(count));
+    auto first = dimension_order_route(topo, source, via);
+    const auto second = dimension_order_route(topo, via, destination);
+    // Concatenate, dropping the duplicated via node.
+    first.insert(first.end(), second.begin() + 1, second.end());
+    std::unordered_set<NodeId> seen(first.begin(), first.end());
+    if (seen.size() == first.size())
+      return Path::from_nodes(topo.graph, first);
+  }
+  return dimension_order_path(topo, source, destination);
+}
+
+}  // namespace opto

@@ -1,0 +1,20 @@
+// Valiant's trick: route via a random intermediate node to turn worst-case
+// inputs into two random-destination phases. Provided for mesh/torus
+// dimension-order routing. The two legs are concatenated; requests whose
+// concatenation revisits a node are re-drawn (paths must stay simple).
+#pragma once
+
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/path.hpp"
+#include "opto/rng/rng.hpp"
+
+namespace opto {
+
+/// Dimension-order route source→via→destination with `via` drawn uniformly;
+/// re-draws until the concatenated route is a simple path (at most
+/// `max_attempts` times, then falls back to the direct route).
+Path valiant_mesh_path(const MeshTopology& topo, NodeId source,
+                       NodeId destination, Rng& rng,
+                       std::uint32_t max_attempts = 32);
+
+}  // namespace opto

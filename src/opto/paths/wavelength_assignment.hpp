@@ -1,0 +1,43 @@
+// Static wavelength assignment (the RWA problem of §1.2's related work):
+// color the paths so that no two paths sharing a directed link get the
+// same wavelength. With enough wavelengths this makes routing collision-
+// free by construction — the single-hop strategy of Barry-Humblet [3],
+// Aggarwal et al. [1], Raghavan-Upfal [32] — and serves as the classical
+// baseline the trial-and-failure protocol is compared against (the
+// protocol needs no global coordination; RWA needs the whole collection
+// up front).
+//
+// Coloring the conflict graph optimally is NP-hard; we provide first-fit
+// greedy in two classic orders. For a collection with path congestion C̃,
+// first-fit needs at most C̃ + 1 colors (every path conflicts with ≤ C̃
+// others).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opto/paths/path_collection.hpp"
+
+namespace opto {
+
+struct WavelengthAssignment {
+  /// Color (wavelength class) per path, parallel to the collection.
+  std::vector<std::uint32_t> color;
+  std::uint32_t colors_used = 0;
+};
+
+enum class ColoringOrder : std::uint8_t {
+  ByIndex,        ///< first-fit in path order
+  ByDegreeDesc,   ///< largest conflict degree first (Welsh-Powell)
+};
+
+/// Greedy first-fit coloring of the path conflict graph (conflict = the
+/// two paths share a directed link).
+WavelengthAssignment assign_wavelengths(const PathCollection& collection,
+                                        ColoringOrder order);
+
+/// Verifies that no two paths with equal color share a directed link.
+bool is_valid_assignment(const PathCollection& collection,
+                         const WavelengthAssignment& assignment);
+
+}  // namespace opto

@@ -1,0 +1,60 @@
+// Workload generators (§1.4 terminology).
+//
+// "Routing a function"  — node i sends one message to f(i), f random.
+// "Routing a q-function"— every node is the source of q messages.
+// "Permutation"         — f is a random bijection.
+//
+// The builders here combine a workload with a path selector to produce
+// the PathCollection the protocol routes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/path_collection.hpp"
+#include "opto/rng/rng.hpp"
+
+namespace opto {
+
+/// f : [n] -> [n] drawn uniformly at random.
+std::vector<NodeId> random_function(std::uint32_t n, Rng& rng);
+
+/// Random bijection on [n].
+std::vector<NodeId> random_permutation(std::uint32_t n, Rng& rng);
+
+/// (source, destination) request list for a function; self-requests
+/// (f(i) == i) are kept — they route a zero-length path.
+std::vector<std::pair<NodeId, NodeId>> function_requests(
+    const std::vector<NodeId>& f);
+
+/// q requests per source, destinations uniform.
+std::vector<std::pair<NodeId, NodeId>> random_q_function_requests(
+    std::uint32_t n, std::uint32_t q, Rng& rng);
+
+/// Hotspot traffic: each node sends one message; with probability
+/// `hotspot_fraction` the destination is the fixed `hotspot` node,
+/// otherwise uniform. The classic stress pattern for congestion terms —
+/// C̃ grows like fraction·n regardless of path selection.
+std::vector<std::pair<NodeId, NodeId>> hotspot_requests(
+    std::uint32_t n, NodeId hotspot, double hotspot_fraction, Rng& rng);
+
+/// Dimension-order collection for a request list on a mesh/torus. The
+/// topology must outlive nothing: the collection shares ownership.
+PathCollection mesh_collection(std::shared_ptr<const MeshTopology> topo,
+                               const std::vector<std::pair<NodeId, NodeId>>& requests);
+
+/// Random-function convenience wrappers.
+PathCollection mesh_random_function(std::shared_ptr<const MeshTopology> topo,
+                                    Rng& rng);
+PathCollection butterfly_random_q_function(
+    std::shared_ptr<const ButterflyTopology> topo, std::uint32_t q, Rng& rng);
+PathCollection bfs_random_function(std::shared_ptr<const Graph> graph,
+                                   Rng& rng);
+PathCollection bfs_random_permutation(std::shared_ptr<const Graph> graph,
+                                      Rng& rng);
+
+}  // namespace opto

@@ -1,0 +1,62 @@
+#include "opto/rng/rng.hpp"
+
+#include <numeric>
+
+#include "opto/rng/splitmix64.hpp"
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Mix the pair through two splitmix rounds so nearby (seed, id) pairs
+  // land in unrelated parts of the state space.
+  const std::uint64_t mixed =
+      splitmix64_once(seed ^ splitmix64_once(stream_id + 0x51ed270b4d2f6ea1ull));
+  return Rng(mixed);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  OPTO_ASSERT(bound > 0);
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  OPTO_ASSERT(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t draw = span == 0 ? next_u64() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::next_double() {
+  // 53 top bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  shuffle(perm);
+  return perm;
+}
+
+}  // namespace opto

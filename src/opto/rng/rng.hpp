@@ -1,0 +1,57 @@
+// Deterministic random-number facade used everywhere in the library.
+//
+// Two requirements drove this design:
+//   1. Reproducibility across platforms: std::uniform_int_distribution is
+//      implementation-defined, so all distributions here are hand-rolled
+//      (Lemire's unbiased bounded-integer method).
+//   2. Stream independence: a simulation trial, a worm, or a thread can
+//      each get its own statistically independent stream derived from
+//      (seed, stream-id) without coordination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opto/rng/xoshiro256.hpp"
+
+namespace opto {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Derives an independent stream. Deterministic in (this seed, id).
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
+  std::uint64_t next_u64() { return gen_.next(); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p.
+  bool next_bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Random permutation of [0, n).
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace opto

@@ -1,0 +1,29 @@
+// splitmix64 — used only for seeding xoshiro streams.
+// Reference algorithm by Sebastiano Vigna (public domain).
+#pragma once
+
+#include <cstdint>
+
+namespace opto {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot mix; handy for hashing (seed, stream-id) pairs into sub-seeds.
+inline std::uint64_t splitmix64_once(std::uint64_t x) {
+  return SplitMix64(x).next();
+}
+
+}  // namespace opto

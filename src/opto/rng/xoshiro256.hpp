@@ -1,0 +1,49 @@
+// xoshiro256** — the library's base generator.
+// Reference algorithm by Blackman & Vigna (public domain). Chosen for
+// speed, quality, and a cheap jump-free way to derive independent streams
+// (seed each stream from splitmix64 of (seed, stream-id)).
+#pragma once
+
+#include <cstdint>
+
+#include "opto/rng/splitmix64.hpp"
+
+namespace opto {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 mixer(seed);
+    for (auto& word : state_) word = mixer.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace opto

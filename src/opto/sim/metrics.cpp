@@ -1,0 +1,28 @@
+#include "opto/sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace opto {
+
+void PassMetrics::merge(const PassMetrics& other) {
+  launched += other.launched;
+  delivered += other.delivered;
+  killed += other.killed;
+  truncated += other.truncated;
+  truncated_arrivals += other.truncated_arrivals;
+  contentions += other.contentions;
+  retunes += other.retunes;
+  makespan = std::max(makespan, other.makespan);
+  worm_steps += other.worm_steps;
+  link_busy_steps += other.link_busy_steps;
+}
+
+double PassMetrics::utilization(std::uint64_t link_count,
+                                std::uint16_t bandwidth) const {
+  if (link_count == 0 || bandwidth == 0 || makespan < 0) return 0.0;
+  const double slots = static_cast<double>(link_count) * bandwidth *
+                       static_cast<double>(makespan + 1);
+  return slots > 0 ? static_cast<double>(link_busy_steps) / slots : 0.0;
+}
+
+}  // namespace opto

@@ -1,0 +1,33 @@
+// Aggregated counters for one forward pass of the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "opto/optical/worm.hpp"
+
+namespace opto {
+
+struct PassMetrics {
+  std::uint64_t launched = 0;    ///< worms injected
+  std::uint64_t delivered = 0;   ///< tails that fully arrived *intact*
+  std::uint64_t killed = 0;      ///< worms eliminated at a coupler
+  std::uint64_t truncated = 0;   ///< truncation events (one worm may be cut
+                                 ///< more than once)
+  std::uint64_t truncated_arrivals = 0;  ///< remnants that reached their
+                                         ///< destination (failed deliveries)
+  std::uint64_t contentions = 0;  ///< contention groups resolved
+  std::uint64_t retunes = 0;     ///< wavelength conversions performed
+  SimTime makespan = 0;          ///< last event time of the pass
+  std::uint64_t worm_steps = 0;  ///< total link entries (engine throughput)
+  /// Total (link, step) slots occupied by flits — admissions minus what
+  /// truncations trimmed. Divide by link_count × (makespan+1) × B for the
+  /// network's optical utilization.
+  std::uint64_t link_busy_steps = 0;
+
+  void merge(const PassMetrics& other);
+
+  /// Fraction of (link, wavelength, step) slots that carried a flit.
+  double utilization(std::uint64_t link_count, std::uint16_t bandwidth) const;
+};
+
+}  // namespace opto

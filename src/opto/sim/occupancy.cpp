@@ -1,0 +1,43 @@
+#include "opto/sim/occupancy.hpp"
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+std::optional<Claim> OccupancyRegistry::occupant(EdgeId link,
+                                                 Wavelength wavelength,
+                                                 SimTime now) const {
+  const auto it = claims_.find(key(link, wavelength));
+  if (it == claims_.end()) return std::nullopt;
+  const Claim& claim = it->second;
+  if (claim.release <= now) return std::nullopt;  // stale: already drained
+  OPTO_DASSERT(claim.entry <= now);
+  return claim;
+}
+
+void OccupancyRegistry::claim(EdgeId link, Wavelength wavelength,
+                              const Claim& claim) {
+  OPTO_DASSERT(claim.release > claim.entry);
+  claims_[key(link, wavelength)] = claim;
+}
+
+SimTime OccupancyRegistry::shorten(EdgeId link, Wavelength wavelength,
+                                   WormId worm, SimTime new_release) {
+  const auto it = claims_.find(key(link, wavelength));
+  if (it == claims_.end() || it->second.worm != worm) return 0;
+  if (new_release >= it->second.release) return 0;
+  const SimTime trimmed = it->second.release - new_release;
+  it->second.release = new_release;
+  return trimmed;
+}
+
+void OccupancyRegistry::sweep(SimTime now) {
+  for (auto it = claims_.begin(); it != claims_.end();) {
+    if (it->second.release <= now)
+      it = claims_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace opto

@@ -1,0 +1,58 @@
+// Occupancy registry: who is currently streaming through each
+// (directed link, wavelength) pair.
+//
+// A claim records the occupant worm, its priority, where the link sits on
+// the occupant's path, when its head entered, and when the link frees up
+// (entry + flit length at that link). Priority truncation shrinks release
+// times via shorten(); an admitted winner simply overwrites the key (the
+// loser's surviving flits are strictly ahead of the winner's, so the link
+// is never double-booked — see the simulator's model notes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "opto/graph/graph.hpp"
+#include "opto/optical/worm.hpp"
+
+namespace opto {
+
+struct Claim {
+  WormId worm = kInvalidWorm;
+  std::uint32_t priority = 0;
+  std::uint32_t link_index = 0;  ///< position of this link on worm's path
+  SimTime entry = 0;             ///< head entered the link at this step
+  SimTime release = 0;           ///< first step the link is free again
+};
+
+class OccupancyRegistry {
+ public:
+  /// The occupant of (link, wavelength) at time `now`, if any.
+  std::optional<Claim> occupant(EdgeId link, Wavelength wavelength,
+                                SimTime now) const;
+
+  /// Records/overwrites the claim for (link, wavelength).
+  void claim(EdgeId link, Wavelength wavelength, const Claim& claim);
+
+  /// Caps the release time of `worm`'s claim on (link, wavelength) at
+  /// `new_release` (no-op if the key is now owned by another worm or the
+  /// claim already releases earlier). Returns the busy steps trimmed.
+  SimTime shorten(EdgeId link, Wavelength wavelength, WormId worm,
+                  SimTime new_release);
+
+  void clear() { claims_.clear(); }
+  std::size_t size() const { return claims_.size(); }
+
+  /// Drops claims with release ≤ now (periodic garbage collection).
+  void sweep(SimTime now);
+
+ private:
+  static std::uint64_t key(EdgeId link, Wavelength wavelength) {
+    return (static_cast<std::uint64_t>(link) << 16) | wavelength;
+  }
+
+  std::unordered_map<std::uint64_t, Claim> claims_;
+};
+
+}  // namespace opto

@@ -1,0 +1,402 @@
+#include "opto/sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+const char* to_string(ConversionMode mode) {
+  switch (mode) {
+    case ConversionMode::None:
+      return "none";
+    case ConversionMode::Full:
+      return "full";
+    case ConversionMode::Sparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const PathCollection& collection, SimConfig config)
+    : collection_(collection), config_(std::move(config)) {
+  OPTO_ASSERT(config_.bandwidth >= 1);
+  if (config_.conversion == ConversionMode::Sparse)
+    OPTO_ASSERT_MSG(config_.converters.size() >= collection.graph().node_count(),
+                    "Sparse conversion needs a per-node converter flag");
+}
+
+bool Simulator::converts_at(NodeId node) const {
+  switch (config_.conversion) {
+    case ConversionMode::None:
+      return false;
+    case ConversionMode::Full:
+      return true;
+    case ConversionMode::Sparse:
+      return config_.converters[node] != 0;
+  }
+  return false;
+}
+
+void Simulator::apply_truncation(std::vector<Worm>& worms, WormId victim,
+                                 std::uint32_t cut_link_index, SimTime now,
+                                 PassResult& result) {
+  Worm& worm = worms[victim];
+  const Path& path = collection_.path(worm.path);
+  const SimTime cut_entry = worm.entry_time(cut_link_index);
+  OPTO_ASSERT(now > cut_entry);
+  // Flits that made it through the cut coupler before `now` survive on
+  // this cut's downstream links; the head stream (what can still be
+  // delivered) is the minimum across all cuts so far.
+  const auto remnant = static_cast<std::uint32_t>(now - cut_entry);
+  worm.length = std::min(worm.length, remnant);
+  OPTO_ASSERT(worm.length >= 1);
+  worm.truncated = true;
+  ++result.metrics.truncated;
+  const bool convert = config_.conversion != ConversionMode::None;
+  const auto victim_wavelength = [&](std::uint32_t i) {
+    return convert ? wavelength_history_[victim][i] : worm.wavelength;
+  };
+  result.trace.record({now, TraceKind::Truncate, victim,
+                       path.link(cut_link_index),
+                       victim_wavelength(cut_link_index), kInvalidWorm});
+  // Shorten the victim's claims from the cut onward: link i now frees at
+  // entry_i + remnant. shorten() takes the min with the existing release,
+  // so links past an earlier (deeper) cut keep their shorter windows;
+  // claims the victim no longer owns are skipped.
+  for (std::uint32_t i = cut_link_index; i < worm.head_index; ++i)
+    result.metrics.link_busy_steps -=
+        static_cast<std::uint64_t>(registry_.shorten(
+            path.link(i), victim_wavelength(i), victim,
+            worm.entry_time(i) + remnant));
+}
+
+PassResult Simulator::run(std::span<const LaunchSpec> specs) {
+  PassResult result;
+  result.trace = Trace(config_.record_trace);
+  const auto count = static_cast<WormId>(specs.size());
+  result.worms.resize(count);
+  registry_.clear();
+  const bool convert = config_.conversion != ConversionMode::None;
+  if (convert) wavelength_history_.assign(count, {});
+
+  // Materialize worm state.
+  std::vector<Worm> worms(count);
+  for (WormId id = 0; id < count; ++id) {
+    const LaunchSpec& spec = specs[id];
+    OPTO_ASSERT(spec.path < collection_.size());
+    OPTO_ASSERT(spec.length >= 1);
+    OPTO_ASSERT(spec.wavelength < config_.bandwidth);
+    Worm& worm = worms[id];
+    worm.path = spec.path;
+    worm.wavelength = spec.wavelength;
+    worm.priority = spec.priority;
+    worm.start_time = spec.start_time;
+    worm.original_length = spec.length;
+    worm.length = spec.length;
+  }
+
+  // Injection order: by start time (stable in worm id).
+  std::vector<WormId> injection_order(count);
+  std::iota(injection_order.begin(), injection_order.end(), 0u);
+  std::stable_sort(injection_order.begin(), injection_order.end(),
+                   [&worms](WormId a, WormId b) {
+                     return worms[a].start_time < worms[b].start_time;
+                   });
+
+  std::vector<WormId> running;   // head still has links to enter
+  std::vector<WormId> draining;  // head done, tail still arriving
+  running.reserve(count);
+
+  std::size_t next_injection = 0;
+  SimTime now = count > 0 ? worms[injection_order.front()].start_time : 0;
+
+  std::vector<Attempt> attempts;
+  std::vector<Contender> contenders;
+
+  const auto finish_kill = [&](WormId id, SimTime t, WormId blocker) {
+    Worm& worm = worms[id];
+    worm.status = WormStatus::Killed;
+    worm.blocked_at_link = worm.head_index;
+    worm.finish_time = t;
+    ++result.metrics.killed;
+    const Path& path = collection_.path(worm.path);
+    result.trace.record({t, TraceKind::Kill, id, path.link(worm.head_index),
+                         worm.wavelength, blocker});
+    result.worms[id].blocked_by = blocker;
+  };
+
+  const auto finish_delivery = [&](WormId id, SimTime t) {
+    Worm& worm = worms[id];
+    worm.status = WormStatus::Delivered;
+    worm.finish_time = t;
+    if (worm.truncated)
+      ++result.metrics.truncated_arrivals;
+    else
+      ++result.metrics.delivered;
+    result.trace.record(
+        {t, TraceKind::Deliver, id, kInvalidEdge, worm.wavelength, kInvalidWorm});
+  };
+
+  /// Admits `id` onto `link` at wavelength `wl` (its head enters now).
+  const auto admit = [&](WormId id, EdgeId link, Wavelength wl, bool retuned) {
+    Worm& worm = worms[id];
+    if (convert) {
+      wavelength_history_[id].push_back(wl);
+      worm.wavelength = wl;
+    }
+    Claim claim;
+    claim.worm = id;
+    claim.priority = worm.priority;
+    claim.link_index = worm.head_index;
+    claim.entry = now;
+    claim.release = now + worm.length;
+    registry_.claim(link, wl, claim);
+    result.trace.record({now, retuned ? TraceKind::Retune : TraceKind::Admit,
+                         id, link, wl, kInvalidWorm});
+    if (retuned) ++result.metrics.retunes;
+    ++worm.head_index;
+    ++result.metrics.worm_steps;
+    result.metrics.link_busy_steps += worm.length;
+  };
+
+  /// Conversion-free contention for one (link, wavelength) group.
+  const auto resolve_fixed = [&](EdgeId link, Wavelength wl,
+                                 std::span<const Attempt> group) {
+    contenders.clear();
+    for (const Attempt& attempt : group)
+      contenders.push_back({attempt.worm, worms[attempt.worm].priority});
+
+    const auto occupant = registry_.occupant(link, wl, now);
+    std::optional<Contender> occupant_contender;
+    if (occupant.has_value())
+      occupant_contender = Contender{occupant->worm, occupant->priority};
+
+    if (occupant.has_value() || contenders.size() > 1)
+      ++result.metrics.contentions;
+
+    const ContentionOutcome outcome = resolve_contention(
+        config_.rule, config_.tie, occupant_contender, contenders);
+
+    if (outcome.occupant_truncated)
+      apply_truncation(worms, occupant->worm, occupant->link_index, now,
+                       result);
+
+    for (WormId loser : outcome.eliminated) {
+      // Witness (Lemma 2.2): the worm that prevented this one — the
+      // occupant, else the admitted worm, else a dead-heat peer.
+      WormId blocker = kInvalidWorm;
+      if (occupant.has_value())
+        blocker = occupant->worm;
+      else if (outcome.admitted != kInvalidWorm)
+        blocker = outcome.admitted;
+      else
+        blocker = loser == contenders.front().worm ? contenders.back().worm
+                                                   : contenders.front().worm;
+      finish_kill(loser, now, blocker);
+    }
+
+    if (outcome.admitted != kInvalidWorm)
+      admit(outcome.admitted, link, wl, /*retuned=*/false);
+  };
+
+  /// Contention for one link at a converting router: entrants may retune
+  /// to any free wavelength. Serve-first scans entrants in input-port
+  /// (worm id) order; priority scans in descending rank and may steal the
+  /// weakest occupant's wavelength when none is free.
+  const auto resolve_converting = [&](EdgeId link,
+                                      std::span<const Attempt> group) {
+    const std::uint16_t bandwidth = config_.bandwidth;
+    // Live occupants and same-step admissions per wavelength.
+    std::vector<std::optional<Claim>> occupant(bandwidth);
+    std::vector<WormId> admitted(bandwidth, kInvalidWorm);
+    bool any_contention = false;
+    for (Wavelength w = 0; w < bandwidth; ++w)
+      occupant[w] = registry_.occupant(link, w, now);
+
+    std::vector<WormId> order;
+    order.reserve(group.size());
+    for (const Attempt& attempt : group) order.push_back(attempt.worm);
+    if (config_.rule == ContentionRule::Priority) {
+      std::sort(order.begin(), order.end(), [&worms](WormId a, WormId b) {
+        return worms[a].priority > worms[b].priority;
+      });
+    } else {
+      std::sort(order.begin(), order.end());
+    }
+
+    const auto is_free = [&](Wavelength w) {
+      return !occupant[w].has_value() && admitted[w] == kInvalidWorm;
+    };
+    const auto lowest_free = [&]() -> std::int32_t {
+      for (Wavelength w = 0; w < bandwidth; ++w)
+        if (is_free(w)) return w;
+      return -1;
+    };
+
+    for (const WormId id : order) {
+      Worm& worm = worms[id];
+      const Wavelength preferred = worm.wavelength;
+      if (is_free(preferred)) {
+        admit(id, link, preferred, /*retuned=*/false);
+        admitted[preferred] = id;
+        continue;
+      }
+      any_contention = true;
+      if (const std::int32_t w = lowest_free(); w >= 0) {
+        admit(id, link, static_cast<Wavelength>(w), /*retuned=*/true);
+        admitted[static_cast<Wavelength>(w)] = id;
+        continue;
+      }
+      if (config_.rule == ContentionRule::Priority) {
+        // No free wavelength: challenge the weakest pre-existing occupant
+        // (same-step admissions are head-to-head and cannot be cut).
+        std::int32_t weakest = -1;
+        for (Wavelength w = 0; w < bandwidth; ++w) {
+          if (!occupant[w].has_value()) continue;
+          if (weakest < 0 ||
+              occupant[w]->priority <
+                  occupant[static_cast<Wavelength>(weakest)]->priority)
+            weakest = w;
+        }
+        if (weakest >= 0) {
+          const auto wl = static_cast<Wavelength>(weakest);
+          if (occupant[wl]->priority < worm.priority) {
+            apply_truncation(worms, occupant[wl]->worm,
+                             occupant[wl]->link_index, now, result);
+            admit(id, link, wl, /*retuned=*/wl != preferred);
+            admitted[wl] = id;
+            occupant[wl].reset();
+            continue;
+          }
+        }
+      }
+      // Eliminated: witness is whoever holds the preferred wavelength.
+      const WormId blocker = occupant[preferred].has_value()
+                                 ? occupant[preferred]->worm
+                                 : admitted[preferred];
+      finish_kill(id, now, blocker);
+    }
+    if (any_contention) ++result.metrics.contentions;
+  };
+
+  while (next_injection < count || !running.empty() || !draining.empty()) {
+    // Fast-forward across idle gaps (large startup-delay ranges leave long
+    // stretches with nothing in flight).
+    if (running.empty() && draining.empty()) {
+      OPTO_ASSERT(next_injection < count);
+      now = std::max(now, worms[injection_order[next_injection]].start_time);
+    }
+
+    // 1. Inject worms whose startup delay expired.
+    while (next_injection < count &&
+           worms[injection_order[next_injection]].start_time <= now) {
+      const WormId id = injection_order[next_injection++];
+      Worm& worm = worms[id];
+      OPTO_ASSERT(worm.status == WormStatus::Waiting);
+      worm.status = WormStatus::Running;
+      ++result.metrics.launched;
+      const Path& path = collection_.path(worm.path);
+      result.trace.record({now, TraceKind::Inject, id,
+                           path.empty() ? kInvalidEdge : path.link(0),
+                           worm.wavelength, kInvalidWorm});
+      if (path.empty()) {
+        // Zero-length path: source == destination, no link contention.
+        finish_delivery(id, now);
+      } else {
+        running.push_back(id);
+      }
+    }
+
+    // 2. Collect this step's link-entry attempts. Every running worm's
+    //    head enters a link every step (worms never stall). Grouping key:
+    //    (link, wavelength) normally; link only at converting routers
+    //    (entrants on different wavelengths interact there).
+    attempts.clear();
+    for (WormId id : running) {
+      const Worm& worm = worms[id];
+      OPTO_DASSERT(worm.status == WormStatus::Running);
+      OPTO_DASSERT(worm.entry_time(worm.head_index) == now);
+      const EdgeId link = collection_.path(worm.path).link(worm.head_index);
+      const bool merge_wavelengths =
+          convert && converts_at(collection_.graph().source(link));
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(link) << 17) |
+          (merge_wavelengths ? 0x10000u : worm.wavelength);
+      attempts.push_back({key, id});
+    }
+    std::sort(attempts.begin(), attempts.end(),
+              [](const Attempt& a, const Attempt& b) {
+                return a.key != b.key ? a.key < b.key : a.worm < b.worm;
+              });
+
+    // 3. Resolve contention groups in ascending key order.
+    for (std::size_t lo = 0; lo < attempts.size();) {
+      std::size_t hi = lo;
+      while (hi < attempts.size() && attempts[hi].key == attempts[lo].key)
+        ++hi;
+      const auto link = static_cast<EdgeId>(attempts[lo].key >> 17);
+      const std::span<const Attempt> group{attempts.data() + lo, hi - lo};
+      if ((attempts[lo].key & 0x10000u) != 0)
+        resolve_converting(link, group);
+      else
+        resolve_fixed(link,
+                      static_cast<Wavelength>(attempts[lo].key & 0xffffu),
+                      group);
+      lo = hi;
+    }
+
+    // 4. Re-partition the running set: drop kills, move finished heads to
+    //    the draining set.
+    std::size_t keep = 0;
+    for (WormId id : running) {
+      Worm& worm = worms[id];
+      if (worm.status != WormStatus::Running) continue;  // killed this step
+      if (worm.head_index == collection_.path(worm.path).length())
+        draining.push_back(id);
+      else
+        running[keep++] = id;
+    }
+    running.resize(keep);
+
+    // 5. Finalize drained deliveries. The tail leaves the last link at
+    //    entry_last + length − 1; truncation may have pulled that earlier.
+    keep = 0;
+    for (WormId id : draining) {
+      Worm& worm = worms[id];
+      const Path& path = collection_.path(worm.path);
+      const SimTime done =
+          worm.entry_time(path.length() - 1) + worm.length - 1;
+      if (now >= done)
+        finish_delivery(id, done);
+      else
+        draining[keep++] = id;
+    }
+    draining.resize(keep);
+
+    // Periodic garbage collection of drained claims keeps the registry
+    // proportional to the in-flight worm count on long passes.
+    if ((now & 0x3ff) == 0) registry_.sweep(now);
+
+    ++now;
+  }
+
+  // Publish per-worm outcomes and the makespan.
+  for (WormId id = 0; id < count; ++id) {
+    const Worm& worm = worms[id];
+    OPTO_ASSERT(worm.status == WormStatus::Delivered ||
+                worm.status == WormStatus::Killed);
+    WormOutcome& outcome = result.worms[id];
+    outcome.status = worm.status;
+    outcome.truncated = worm.truncated;
+    outcome.finish_time = worm.finish_time;
+    outcome.blocked_at_link = worm.blocked_at_link;
+    result.metrics.makespan =
+        std::max(result.metrics.makespan, worm.finish_time);
+  }
+  return result;
+}
+
+}  // namespace opto

@@ -1,0 +1,112 @@
+// Time-stepped wormhole simulation engine — one forward pass.
+//
+// Model recap (§1.1 of the paper, DESIGN.md "Simulation-model decisions"):
+//  * a worm injected at time s enters its path link i at time s+i — worms
+//    never stall, they advance or get eliminated;
+//  * link i is occupied on the worm's wavelength during
+//    [s+i, s+i+ℓ−1] where ℓ is the worm's flit length at that link;
+//  * serve-first: an entrant finding its (link, wavelength) occupied is
+//    eliminated; its upstream flits drain (their occupancy stands);
+//  * priority: the higher rank wins; a losing occupant is truncated at the
+//    coupler — the remnant ahead of the cut keeps travelling (and can
+//    collide again), flits behind the cut drain;
+//  * delivery is *intact* only if the worm was never killed or truncated;
+//    a truncated remnant that arrives is a failed delivery (retry).
+//
+// The engine is deterministic: same collection + launch specs produce the
+// same outcome. Contention groups within a step are resolved in ascending
+// (link, wavelength) order; within-step truncations cannot free a link for
+// the same step (the remnant's tail is still on it), so this order does
+// not affect occupancy decisions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "opto/optical/coupler.hpp"
+#include "opto/optical/worm.hpp"
+#include "opto/paths/path_collection.hpp"
+#include "opto/sim/metrics.hpp"
+#include "opto/sim/occupancy.hpp"
+#include "opto/sim/trace.hpp"
+
+namespace opto {
+
+/// Wavelength-conversion capability (§4 / the [11] comparator). The paper
+/// studies the conversion-free case; Full models converters at every
+/// router (Cypher et al.'s setting), Sparse models converters at selected
+/// routers only ([23]'s wavelength-convertible networks).
+enum class ConversionMode : std::uint8_t { None, Full, Sparse };
+
+const char* to_string(ConversionMode mode);
+
+struct SimConfig {
+  ContentionRule rule = ContentionRule::ServeFirst;
+  TiePolicy tie = TiePolicy::KillAll;
+  std::uint16_t bandwidth = 1;  ///< wavelengths per fiber (B)
+  bool record_trace = false;
+  ConversionMode conversion = ConversionMode::None;
+  /// Per-node converter flags, indexed by NodeId; consulted only in
+  /// Sparse mode (Full converts everywhere). The coupler feeding link e
+  /// sits at source(e), so that node's flag governs retunes onto e.
+  std::vector<char> converters;
+};
+
+/// Launch parameters for one worm (chosen by the protocol layer).
+struct LaunchSpec {
+  PathId path = kInvalidPath;
+  SimTime start_time = 0;        ///< injection step (delay already applied)
+  Wavelength wavelength = 0;     ///< in [0, bandwidth)
+  std::uint32_t priority = 0;    ///< rank for the priority rule
+  std::uint32_t length = 1;      ///< worm length L in flits (≥ 1)
+};
+
+struct WormOutcome {
+  WormStatus status = WormStatus::Waiting;
+  bool truncated = false;
+  SimTime finish_time = -1;           ///< delivery completion / kill step
+  std::uint32_t blocked_at_link = 0;  ///< path position of a fatal block
+  WormId blocked_by = kInvalidWorm;   ///< the witnessing blocker, if killed
+
+  bool delivered_intact() const {
+    return status == WormStatus::Delivered && !truncated;
+  }
+};
+
+struct PassResult {
+  std::vector<WormOutcome> worms;  ///< parallel to the launch specs
+  PassMetrics metrics;
+  Trace trace;  ///< populated iff config.record_trace
+};
+
+class Simulator {
+ public:
+  /// The collection must outlive the simulator.
+  Simulator(const PathCollection& collection, SimConfig config);
+
+  /// Simulates one forward pass of all `specs` worms to quiescence.
+  PassResult run(std::span<const LaunchSpec> specs);
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  struct Attempt {
+    std::uint64_t key;  ///< (link << 16) | wavelength, for grouping
+    WormId worm;
+  };
+
+  void apply_truncation(std::vector<Worm>& worms, WormId victim,
+                        std::uint32_t cut_link_index, SimTime now,
+                        PassResult& result);
+
+  bool converts_at(NodeId node) const;
+
+  const PathCollection& collection_;
+  SimConfig config_;
+  OccupancyRegistry registry_;
+  /// Per-worm wavelength history; allocated only when conversion is on.
+  std::vector<std::vector<Wavelength>> wavelength_history_;
+};
+
+}  // namespace opto

@@ -1,0 +1,55 @@
+// Optional event trace for tests, debugging, and the examples' verbose
+// mode. Disabled by default; recording costs one append per event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+#include "opto/optical/worm.hpp"
+
+namespace opto {
+
+enum class TraceKind : std::uint8_t {
+  Inject,    ///< worm launched onto its first link
+  Admit,     ///< head admitted onto a link
+  Retune,    ///< admitted after a wavelength conversion
+  Kill,      ///< worm eliminated at a coupler
+  Truncate,  ///< occupant cut by a higher-priority entrant
+  Deliver,   ///< tail fully arrived at the destination
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  SimTime time = 0;
+  TraceKind kind = TraceKind::Inject;
+  WormId worm = kInvalidWorm;
+  EdgeId link = kInvalidEdge;     ///< link involved (invalid for Deliver)
+  Wavelength wavelength = 0;
+  WormId other = kInvalidWorm;    ///< blocker / truncator when applicable
+};
+
+class Trace {
+ public:
+  explicit Trace(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  void record(const TraceEvent& event) {
+    if (enabled_) events_.push_back(event);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Human-readable one-line rendering of an event.
+  static std::string describe(const TraceEvent& event);
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace opto

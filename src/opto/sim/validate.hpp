@@ -1,0 +1,43 @@
+// Post-pass validation: global invariants a PassResult must satisfy.
+//
+// Usable by library consumers as a self-check (run with traces enabled)
+// and used heavily by the test suite. Every violation is returned as a
+// human-readable message rather than asserting, so callers can decide.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "opto/sim/simulator.hpp"
+
+namespace opto {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Checks, given the launch specs and the pass result:
+///  * conservation: every worm ends Delivered or Killed; metric counters
+///    match the per-worm outcomes;
+///  * finish times: delivered worms finish within
+///    [start + len(path) − 1, start + len(path) + L − 2]; killed worms
+///    at their blocking step;
+///  * witnesses: every killed worm's blocker shares the blocked link (and
+///    the wavelength, when conversion is off);
+///  * makespan = max finish time.
+ValidationReport validate_pass(const PathCollection& collection,
+                               const SimConfig& config,
+                               std::span<const LaunchSpec> specs,
+                               const PassResult& result);
+
+/// Trace-based occupancy check (requires config.record_trace): on every
+/// (link, wavelength), admission windows of different worms must not
+/// overlap. Truncated worms' windows are conservatively shortened using
+/// the trace's Truncate events.
+ValidationReport validate_occupancy(const PathCollection& collection,
+                                    std::span<const LaunchSpec> specs,
+                                    const PassResult& result);
+
+}  // namespace opto

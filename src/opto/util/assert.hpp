@@ -1,0 +1,40 @@
+// Lightweight assertion macros used across the library.
+//
+// OPTO_ASSERT is enabled in all build types: the simulator's correctness
+// invariants are cheap relative to the surrounding work and catching a
+// violated invariant in a Release benchmark run is worth the cost.
+// OPTO_DASSERT compiles away outside of Debug builds and is meant for
+// hot-loop checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace opto {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "optoroute assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace opto
+
+#define OPTO_ASSERT(expr)                                        \
+  do {                                                           \
+    if (!(expr)) ::opto::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define OPTO_ASSERT_MSG(expr, msg)                               \
+  do {                                                           \
+    if (!(expr)) ::opto::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifndef NDEBUG
+#define OPTO_DASSERT(expr) OPTO_ASSERT(expr)
+#else
+#define OPTO_DASSERT(expr) \
+  do {                     \
+  } while (false)
+#endif

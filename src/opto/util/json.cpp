@@ -1,0 +1,133 @@
+#include "opto/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+JsonWriter::~JsonWriter() {
+  OPTO_ASSERT_MSG(stack_.empty(), "unbalanced JSON scopes at destruction");
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separator() {
+  if (stack_.empty()) return;
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value right after its key: no comma
+  }
+  OPTO_ASSERT_MSG(stack_.back() == Scope::Array,
+                  "object members need a key first");
+  if (!first_in_scope_.back()) os_ << ',';
+  first_in_scope_.back() = false;
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  os_ << '{';
+  stack_.push_back(Scope::Object);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  OPTO_ASSERT(!stack_.empty() && stack_.back() == Scope::Object);
+  OPTO_ASSERT_MSG(!pending_key_, "dangling key");
+  os_ << '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  os_ << '[';
+  stack_.push_back(Scope::Array);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  OPTO_ASSERT(!stack_.empty() && stack_.back() == Scope::Array);
+  os_ << ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  OPTO_ASSERT(!stack_.empty() && stack_.back() == Scope::Object);
+  OPTO_ASSERT_MSG(!pending_key_, "two keys in a row");
+  if (!first_in_scope_.back()) os_ << ',';
+  first_in_scope_.back() = false;
+  os_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  separator();
+  os_ << '"' << escape(text) << '"';
+}
+
+void JsonWriter::value(double number) {
+  separator();
+  if (!std::isfinite(number)) {
+    os_ << "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", number);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  separator();
+  os_ << number;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  separator();
+  os_ << number;
+}
+
+void JsonWriter::value(bool boolean) {
+  separator();
+  os_ << (boolean ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  separator();
+  os_ << "null";
+}
+
+}  // namespace opto

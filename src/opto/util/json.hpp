@@ -1,0 +1,52 @@
+// Minimal streaming JSON writer (no parsing): correct string escaping,
+// automatic comma placement, nesting validation. Used to persist
+// experiment tables for scripting (OPTO_RESULTS_DIR).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opto {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value (or container).
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(bool boolean);
+  void null();
+
+  /// Whole-document helpers.
+  static std::string escape(std::string_view text);
+
+ private:
+  enum class Scope : std::uint8_t { Object, Array };
+  void separator();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+}  // namespace opto

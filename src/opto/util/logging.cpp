@@ -1,0 +1,43 @@
+#include "opto/util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace opto {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_write_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[opto %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace opto

@@ -1,0 +1,52 @@
+// Minimal leveled logger writing to stderr.
+//
+// The library itself logs nothing by default (level = Warn); benches and
+// examples raise the level for progress reporting. Thread-safe: each log
+// call formats into a local buffer and issues a single write.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace opto {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one log line (appends '\n'). Prefer the OPTO_LOG_* macros.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace opto
+
+#define OPTO_LOG(level)                         \
+  if (::opto::log_level() <= (level))           \
+  ::opto::detail::LogLine(level)
+
+#define OPTO_LOG_DEBUG OPTO_LOG(::opto::LogLevel::Debug)
+#define OPTO_LOG_INFO OPTO_LOG(::opto::LogLevel::Info)
+#define OPTO_LOG_WARN OPTO_LOG(::opto::LogLevel::Warn)
+#define OPTO_LOG_ERROR OPTO_LOG(::opto::LogLevel::Error)

@@ -1,0 +1,25 @@
+// Small string helpers shared by the CLI parser and table output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opto {
+
+/// Splits on a delimiter; empty pieces are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+std::optional<long long> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace opto

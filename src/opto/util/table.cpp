@@ -1,0 +1,139 @@
+#include "opto/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "opto/util/assert.hpp"
+#include "opto/util/json.hpp"
+
+namespace opto {
+
+void Table::set_header(std::vector<std::string> header) {
+  OPTO_ASSERT_MSG(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  OPTO_ASSERT_MSG(header_.empty() || row.size() == header_.size(),
+                  "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& value) {
+  cells_.push_back(value);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(const char* value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double value) {
+  cells_.push_back(format_number(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(unsigned long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+std::string Table::format_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << "| " << cell;
+      for (std::size_t pad = cell.size(); pad < widths[i]; ++pad) os << ' ';
+      os << ' ';
+    }
+    os << "|\n";
+  };
+  auto print_rule = [&]() {
+    for (std::size_t w : widths) {
+      os << '+';
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+    }
+    os << "+\n";
+  };
+  if (!header_.empty()) {
+    print_rule();
+    print_row(header_);
+  }
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os) const {
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("title");
+  json.value(title_);
+  json.key("header");
+  json.begin_array();
+  for (const auto& cell : header_) json.value(cell);
+  json.end_array();
+  json.key("rows");
+  json.begin_array();
+  for (const auto& row : rows_) {
+    json.begin_array();
+    for (const auto& cell : row) json.value(cell);
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace opto

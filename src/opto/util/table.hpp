@@ -1,0 +1,71 @@
+// Aligned text tables and CSV output for benches and examples.
+//
+// Every experiment binary prints its series through a Table so the output
+// format is uniform across the repo (and greppable: header row prefixed by
+// the table title, one data row per parameter point).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace opto {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set column headers. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell; numbers use %g-style formatting.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& cell(const std::string& value);
+    RowBuilder& cell(const char* value);
+    RowBuilder& cell(double value);
+    RowBuilder& cell(long long value);
+    RowBuilder& cell(unsigned long long value);
+    RowBuilder& cell(int value) { return cell(static_cast<long long>(value)); }
+    RowBuilder& cell(long value) { return cell(static_cast<long long>(value)); }
+    RowBuilder& cell(unsigned value) {
+      return cell(static_cast<unsigned long long>(value));
+    }
+    RowBuilder& cell(std::size_t value) {
+      return cell(static_cast<unsigned long long>(value));
+    }
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders an aligned, boxed text table.
+  void print(std::ostream& os) const;
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+  /// Renders {"title":…, "header":[…], "rows":[[…]]}.
+  void print_json(std::ostream& os) const;
+
+  /// Format a double compactly (trims trailing zeros, %.6g).
+  static std::string format_number(double value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opto

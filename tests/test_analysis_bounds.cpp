@@ -1,0 +1,138 @@
+// Closed-form bound evaluators: algebraic identities and growth shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opto/analysis/bounds.hpp"
+
+namespace opto {
+namespace {
+
+ProblemShape shape(std::uint32_t n, std::uint32_t D, std::uint32_t C,
+                   std::uint32_t L, std::uint16_t B) {
+  ProblemShape s;
+  s.size = n;
+  s.dilation = D;
+  s.path_congestion = C;
+  s.worm_length = L;
+  s.bandwidth = B;
+  return s;
+}
+
+TEST(Bounds, AlphaBetaFormulas) {
+  // α = C̃ + B(D/L + 1) + 2, β = α/C̃ + 2.
+  const auto s = shape(1024, 20, 100, 4, 2);
+  EXPECT_DOUBLE_EQ(bound_alpha(s), 100 + 2 * (20.0 / 4 + 1) + 2);
+  EXPECT_DOUBLE_EQ(bound_beta(s), bound_alpha(s) / 100.0 + 2.0);
+}
+
+TEST(Bounds, LogBase) {
+  EXPECT_DOUBLE_EQ(log_base(2.0, 8.0), 3.0);
+  EXPECT_NEAR(log_base(10.0, 1000.0), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(log_base(2.0, 1.0), 0.0);
+  // Degenerate base clamps instead of dividing by zero.
+  EXPECT_GT(log_base(1.0, 100.0), 0.0);
+}
+
+TEST(Bounds, LeveledRoundsGrowsWithN) {
+  const auto small = shape(1u << 8, 10, 64, 4, 1);
+  const auto large = shape(1u << 24, 10, 64, 4, 1);
+  EXPECT_LT(rounds_leveled(small), rounds_leveled(large));
+}
+
+TEST(Bounds, ShortcutFreeRoundsDominateLeveled) {
+  // log_α n ≥ √(log_α n) whenever log_α n ≥ 1.
+  const auto s = shape(1u << 20, 16, 32, 4, 1);
+  EXPECT_GE(rounds_shortcut_free(s), rounds_leveled(s));
+}
+
+TEST(Bounds, RuntimeHasCongestionTerm) {
+  // Doubling C̃ roughly doubles the first term; with D = 0 and huge C̃ the
+  // bound is dominated by L·C̃/B.
+  const auto s1 = shape(1024, 0, 1 << 14, 8, 1);
+  auto s2 = s1;
+  s2.path_congestion <<= 1;
+  EXPECT_NEAR(runtime_leveled(s2) / runtime_leveled(s1), 2.0, 0.3);
+}
+
+TEST(Bounds, RuntimeScalesInverselyWithBandwidth) {
+  const auto s1 = shape(1024, 0, 1 << 14, 8, 1);
+  auto s8 = s1;
+  s8.bandwidth = 8;
+  EXPECT_GT(runtime_leveled(s1) / runtime_leveled(s8), 4.0);
+}
+
+TEST(Bounds, MeshFormulaDimensions) {
+  // Thm 1.6: leading term L·d·n/B.
+  const double base = runtime_mesh(64, 2, 8, 1);
+  EXPECT_GT(runtime_mesh(64, 3, 8, 1), base);
+  EXPECT_LT(runtime_mesh(64, 2, 8, 4), base);
+  EXPECT_GT(runtime_mesh(128, 2, 8, 1), base);
+}
+
+TEST(Bounds, ButterflyFormulaQScaling) {
+  const double q1 = runtime_butterfly(1 << 10, 1, 16, 1);
+  const double q8 = runtime_butterfly(1 << 10, 8, 16, 1);
+  EXPECT_GT(q8, q1);
+  // The congestion term scales linearly in q; the round term shrinks.
+  EXPECT_LT(q8 / q1, 8.0);
+}
+
+TEST(Bounds, NodeSymmetricDiameterSquared) {
+  const double d10 = runtime_node_symmetric(1024, 10, 4, 1);
+  const double d20 = runtime_node_symmetric(1024, 20, 4, 1);
+  // L·D²/B term: quadrupling expected (modulo round terms).
+  EXPECT_GT(d20 / d10, 2.5);
+}
+
+TEST(Bounds, LowerBoundShapes) {
+  const auto s = shape(1u << 20, 16, 64, 4, 1);
+  // triangle (log) dominates staircase (sqrt log).
+  EXPECT_GT(lower_rounds_triangle(s), lower_rounds_staircase(s));
+  EXPECT_GT(lower_rounds_staircase(s), 0.0);
+  EXPECT_GT(lower_rounds_bundle(s), 0.0);
+  // Staircase lower bound matches the leveled upper bound's first term.
+  EXPECT_NEAR(lower_rounds_staircase(s) * lower_rounds_staircase(s),
+              log_base(bound_alpha(s), s.size), 1e-9);
+}
+
+TEST(Bounds, PaperK0MatchesWitnessK0Formula) {
+  const auto s = shape(1u << 12, 16, 64, 4, 2);
+  // Same algebra as witness_k0 (analysis/witness_tree.hpp).
+  const double base =
+      2.0 + 2.0 * (16.0 / 4.0 + 1.0) / (16.0 * 64.0);
+  EXPECT_NEAR(paper_k0(s, 1.0), 3.0 * 12.0 / std::log2(base) + 1.0, 1e-9);
+}
+
+TEST(Bounds, PaperRoundBudgetGrowsSublinearly) {
+  // The explicit T of §2.1 should grow much slower than log n.
+  const auto small = shape(1u << 10, 16, 256, 4, 1);
+  const auto large = shape(1u << 20, 16, 256, 4, 1);
+  const double t_small = paper_round_budget(small);
+  const double t_large = paper_round_budget(large);
+  EXPECT_GT(t_large, t_small);
+  EXPECT_LT(t_large / t_small, 2.0);  // doubling log n far from doubles T
+  EXPECT_TRUE(std::isfinite(paper_round_budget(shape(2, 0, 0, 1, 1))));
+}
+
+TEST(Bounds, PaperRoundBudgetAlwaysCoversAFewRounds) {
+  // T includes ⌈log k₀⌉ ≥ 1 and a positive sqrt term on every shape.
+  for (const std::uint32_t n : {4u, 1u << 8, 1u << 16})
+    for (const std::uint32_t C : {1u, 64u, 1u << 12}) {
+      const double budget = paper_round_budget(shape(n, 8, C, 4, 2));
+      EXPECT_GE(budget, 1.0) << "n=" << n << " C=" << C;
+      EXPECT_TRUE(std::isfinite(budget));
+    }
+}
+
+TEST(Bounds, DegenerateShapesFinite) {
+  const auto s = shape(0, 0, 0, 1, 1);
+  EXPECT_TRUE(std::isfinite(rounds_leveled(s)));
+  EXPECT_TRUE(std::isfinite(runtime_leveled(s)));
+  EXPECT_TRUE(std::isfinite(runtime_shortcut_free(s)));
+  EXPECT_TRUE(std::isfinite(runtime_mesh(1, 1, 1, 1)));
+  EXPECT_TRUE(std::isfinite(runtime_butterfly(1, 1, 1, 1)));
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,138 @@
+// Blame graphs: the empirical Claim 2.6 — acyclic under the priority
+// rule and on leveled collections, cyclic exactly in the Fig. 6 setting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opto/analysis/blame_graph.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/rng/rng.hpp"
+
+namespace opto {
+namespace {
+
+std::vector<LaunchSpec> equal_launches(std::uint32_t count, std::uint32_t L,
+                                       std::uint16_t B, Rng* rng = nullptr) {
+  std::vector<LaunchSpec> specs(count);
+  for (PathId id = 0; id < count; ++id) {
+    specs[id].path = id;
+    specs[id].start_time =
+        rng != nullptr ? static_cast<SimTime>(rng->next_below(8)) : 0;
+    specs[id].wavelength =
+        rng != nullptr ? static_cast<Wavelength>(rng->next_below(B)) : 0;
+    specs[id].length = L;
+    specs[id].priority = id;
+  }
+  return specs;
+}
+
+TEST(BlameGraph, TriangleDeadlockIsACycle) {
+  const auto collection = make_triangle_collection(1, 10, 4);
+  Simulator sim(collection, {});
+  const auto pass = sim.run(equal_launches(3, 4, 1));
+  const auto graph = BlameGraph::from_pass(pass);
+  EXPECT_EQ(graph.edge_count(), 3u);
+  EXPECT_TRUE(graph.has_cycle());
+  const auto cycles = graph.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<WormId>{0, 1, 2}));  // 0->1->2->0
+  EXPECT_EQ(graph.component_sizes(), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(BlameGraph, StaircaseChainIsAcyclic) {
+  const auto collection = make_staircase_collection(1, 6, 14, 4);
+  Simulator sim(collection, {});
+  const auto pass = sim.run(equal_launches(6, 4, 1));
+  const auto graph = BlameGraph::from_pass(pass);
+  EXPECT_EQ(graph.edge_count(), 5u);  // all but the top worm die
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_EQ(graph.component_sizes(), (std::vector<std::uint32_t>{6}));
+}
+
+TEST(BlameGraph, PriorityRuleNeverCycles) {
+  // Blame edges under the priority rule point to strictly higher ranks.
+  const auto collection = make_triangle_collection(16, 10, 4);
+  SimConfig config;
+  config.rule = ContentionRule::Priority;
+  Simulator sim(collection, config);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto specs = equal_launches(collection.size(), 4, 1, &rng);
+    // Random distinct ranks.
+    const auto perm = rng.permutation(collection.size());
+    for (PathId id = 0; id < collection.size(); ++id)
+      specs[id].priority = perm[id];
+    const auto pass = sim.run(specs);
+    const auto graph = BlameGraph::from_pass(pass);
+    EXPECT_FALSE(graph.has_cycle()) << "trial " << trial;
+  }
+}
+
+TEST(BlameGraph, LeveledServeFirstNeverCyclesExceptDeadHeats) {
+  // Claim 2.6's first bullet: in leveled collections a blocking cycle
+  // would need a worm to fail before the level at which it blocks. The
+  // one discrete-time artifact outside the paper's model is the dead-heat
+  // (two heads in the same flit step): under KillAll both cite each other,
+  // a trivial mutual 2-cycle. FirstWins has no dead-heats, so the claim
+  // holds exactly.
+  auto topo = std::make_shared<ButterflyTopology>(make_butterfly(5));
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto collection = butterfly_random_q_function(topo, 2, rng);
+    SimConfig config;
+    config.tie = TiePolicy::FirstWins;
+    Simulator sim(collection, config);
+    auto specs = equal_launches(collection.size(), 4, 1, &rng);
+    const auto pass = sim.run(specs);
+    const auto graph = BlameGraph::from_pass(pass);
+    EXPECT_FALSE(graph.has_cycle()) << "trial " << trial;
+  }
+}
+
+TEST(BlameGraph, KillAllDeadHeatsFormMutualTwoCycles) {
+  // The documented discrete-time artifact: simultaneous arrivals under
+  // KillAll blame each other.
+  const auto collection = make_bundle_collection(1, 2, 5);
+  Simulator sim(collection, {});
+  const auto pass = sim.run(equal_launches(2, 3, 1));
+  const auto graph = BlameGraph::from_pass(pass);
+  const auto cycles = graph.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 2u);
+}
+
+TEST(BlameGraph, NoKillsMeansNoEdges) {
+  const auto collection = make_bundle_collection(1, 3, 6);
+  SimConfig config;
+  config.bandwidth = 4;
+  Simulator sim(collection, config);
+  std::vector<LaunchSpec> specs(3);
+  for (PathId id = 0; id < 3; ++id) {
+    specs[id].path = id;
+    specs[id].start_time = 0;
+    specs[id].wavelength = static_cast<Wavelength>(id);
+    specs[id].length = 2;
+    specs[id].priority = id;
+  }
+  const auto pass = sim.run(specs);
+  const auto graph = BlameGraph::from_pass(pass);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_TRUE(graph.component_sizes().empty());
+}
+
+TEST(BlameGraph, MultipleStructuresMultipleComponents) {
+  const auto collection = make_triangle_collection(3, 10, 4);
+  Simulator sim(collection, {});
+  const auto pass = sim.run(equal_launches(9, 4, 1));
+  const auto graph = BlameGraph::from_pass(pass);
+  EXPECT_EQ(graph.cycles().size(), 3u);
+  EXPECT_EQ(graph.component_sizes(),
+            (std::vector<std::uint32_t>{3, 3, 3}));
+}
+
+}  // namespace
+}  // namespace opto

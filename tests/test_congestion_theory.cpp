@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opto/analysis/congestion_theory.hpp"
+
+namespace opto {
+namespace {
+
+TEST(CongestionTheory, Lemma24Halves) {
+  EXPECT_DOUBLE_EQ(lemma24_congestion(1024, 1, 16), 1024.0);
+  EXPECT_DOUBLE_EQ(lemma24_congestion(1024, 2, 16), 512.0);
+  EXPECT_DOUBLE_EQ(lemma24_congestion(1024, 5, 16), 64.0);
+}
+
+TEST(CongestionTheory, Lemma24FloorsAtLog) {
+  // For n = 2^16 the floor is 16.
+  EXPECT_DOUBLE_EQ(lemma24_congestion(1024, 20, 1 << 16), 16.0);
+}
+
+TEST(CongestionTheory, Lemma210DoublyExponentialDecay) {
+  const double C = 1 << 14;
+  const double B = 1, L = 8, delta = 4 * C;  // γ = 32·B·Δ̂/((L−1)C̃)
+  const double r1 = lemma210_residual(C, B, delta, L, 1);
+  const double r2 = lemma210_residual(C, B, delta, L, 2);
+  const double r3 = lemma210_residual(C, B, delta, L, 3);
+  EXPECT_DOUBLE_EQ(r1, C);  // 2^0 - 1 = 0 exponent
+  EXPECT_LT(r2, r1);
+  EXPECT_LT(r3, r2);
+  // Doubly exponential: log-ratio doubles each round (+1 pattern).
+  const double gamma = 32.0 * B * delta / ((L - 1) * C);
+  EXPECT_NEAR(r2, C / gamma, 1e-6);
+  EXPECT_NEAR(r3, C / (gamma * gamma * gamma), 1e-3);
+}
+
+TEST(CongestionTheory, Lemma210NoDecayRegime) {
+  // γ ≤ 1: the bound gives no decay.
+  EXPECT_DOUBLE_EQ(lemma210_residual(1 << 14, 1, 1, 64, 5),
+                   double{1 << 14});
+}
+
+TEST(CongestionTheory, Lemma210NeedsL2) {
+  EXPECT_DOUBLE_EQ(lemma210_residual(100, 1, 10, 1, 3), 0.0);
+}
+
+TEST(CongestionTheory, Lemma210RoundsLogLog) {
+  const double C = std::exp2(20);
+  const double rounds16 =
+      lemma210_rounds_to(C, 1, 8 * C, 8, 16.0);
+  const double rounds_tiny =
+      lemma210_rounds_to(C, 1, 8 * C, 8, 1.0);
+  EXPECT_GT(rounds16, 0.0);
+  EXPECT_GE(rounds_tiny, rounds16);
+  // loglog shape: even driving the threshold down 16x adds little.
+  EXPECT_LT(rounds_tiny - rounds16, 2.0);
+}
+
+TEST(CongestionTheory, ChernoffBoundsSane) {
+  EXPECT_LE(chernoff_upper_tail(100, 1.0), std::exp(-100.0 * 0.38));
+  EXPECT_LE(chernoff_upper_tail(0.0, 1.0), 1.0);
+  EXPECT_NEAR(chernoff_lower_tail(50, 0.5), std::exp(-0.25 * 50 / 2), 1e-12);
+  EXPECT_LE(chernoff_lower_tail(1e-9, 1.0), 1.0);
+}
+
+TEST(CongestionTheory, PairwiseBlockProbability) {
+  // 2L/(BΔ), clamped at 1.
+  EXPECT_DOUBLE_EQ(pairwise_block_probability(4, 2, 16), 8.0 / 32.0);
+  EXPECT_DOUBLE_EQ(pairwise_block_probability(100, 1, 10), 1.0);
+}
+
+TEST(CongestionTheory, Lemma28ChainProbability) {
+  // ((L−1)/(2BΔ))^i.
+  EXPECT_DOUBLE_EQ(lemma28_chain_probability(5, 1, 8, 1), 4.0 / 16.0);
+  EXPECT_DOUBLE_EQ(lemma28_chain_probability(5, 1, 8, 3),
+                   std::pow(0.25, 3.0));
+  EXPECT_DOUBLE_EQ(lemma28_chain_probability(1, 1, 8, 2), 0.0);  // L = 1
+  EXPECT_DOUBLE_EQ(lemma28_chain_probability(100, 1, 2, 4), 1.0);  // clamp
+}
+
+TEST(CongestionTheory, Lemma29SplitSumsAndShape) {
+  // x_i + α = i(y + nα)/binom(n+1,2); the split must sum back to y + nα
+  // and grow linearly in i.
+  const double y = 90.0, alpha = 5.0;
+  const std::uint32_t n = 4;
+  const auto split = lemma29_optimal_split(y, n, alpha);
+  ASSERT_EQ(split.size(), n);
+  double sum = 0;
+  for (const double s : split) sum += s;
+  EXPECT_NEAR(sum, y + n * alpha, 1e-9);
+  for (std::size_t i = 1; i < split.size(); ++i)
+    EXPECT_NEAR(split[i] / split[0], static_cast<double>(i + 1), 1e-9);
+}
+
+TEST(CongestionTheory, Lemma29SplitActuallyMaximizes) {
+  // Spot-check optimality: the lemma's split beats uniform and a random
+  // perturbation on the objective Π (x_i + α)^i.
+  const double y = 30.0, alpha = 2.0;
+  const std::uint32_t n = 3;
+  const auto objective = [&](const std::vector<double>& xs_plus_alpha) {
+    double log_value = 0;
+    for (std::size_t i = 0; i < xs_plus_alpha.size(); ++i)
+      log_value += (i + 1.0) * std::log(xs_plus_alpha[i]);
+    return log_value;
+  };
+  const auto best = lemma29_optimal_split(y, n, alpha);
+  const std::vector<double> uniform{y / 3 + alpha, y / 3 + alpha,
+                                    y / 3 + alpha};
+  const std::vector<double> skewed{2 + alpha, 8 + alpha, 20 + alpha};
+  EXPECT_GE(objective(best), objective(uniform));
+  EXPECT_GE(objective(best), objective(skewed));
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opto/graph/ring.hpp"
+#include "opto/paths/dot_export.hpp"
+
+namespace opto {
+namespace {
+
+TEST(DotExport, GraphContainsAllEdges) {
+  const auto ring = make_ring(4);
+  const std::string dot = to_dot(ring);
+  EXPECT_NE(dot.find("graph \"ring-4\""), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("3 -- 0"), std::string::npos);
+  // 4 undirected edges exactly.
+  std::size_t count = 0, pos = 0;
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++count;
+    pos += 4;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(DotExport, CollectionHighlightsUsedLinks) {
+  auto graph = std::make_shared<Graph>(make_ring(5));
+  PathCollection collection(graph);
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{0, 1, 2}));
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{0, 1}));
+  const std::string dot = to_dot(collection);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  // The doubly-loaded link 0->1 is labeled 2.
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"2\""), std::string::npos);
+  // Unused edges are drawn grey and undirected.
+  EXPECT_NE(dot.find("dir=none"), std::string::npos);
+  // Sources/destinations are filled.
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(DotExport, EmptyCollectionOnlyGreyEdges) {
+  auto graph = std::make_shared<Graph>(make_ring(3));
+  PathCollection collection(graph);
+  const std::string dot = to_dot(collection);
+  EXPECT_EQ(dot.find("penwidth"), std::string::npos);
+  EXPECT_NE(dot.find("dir=none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,94 @@
+// Dynamic circuit traffic ([34] substrate): blocking probability basics
+// and the conversion advantage.
+#include <gtest/gtest.h>
+
+#include "opto/core/dynamic_traffic.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/graph/ring.hpp"
+
+namespace opto {
+namespace {
+
+DynamicTrafficConfig config_with(double load, std::uint16_t B,
+                                 bool conversion) {
+  DynamicTrafficConfig config;
+  config.offered_load = load;
+  config.bandwidth = B;
+  config.conversion = conversion;
+  config.arrivals = 6000;
+  config.warmup = 1000;
+  return config;
+}
+
+TEST(DynamicTraffic, LightLoadRarelyBlocks) {
+  const auto ring = make_ring(16);
+  const auto result =
+      simulate_dynamic_traffic(ring, config_with(0.2, 8, false), 1);
+  EXPECT_EQ(result.offered, 5000u);
+  EXPECT_LT(result.blocking_probability, 0.01);
+  EXPECT_GT(result.mean_route_length, 1.0);
+  EXPECT_LE(result.mean_route_length, 8.0);  // ring-16 diameter
+}
+
+TEST(DynamicTraffic, HeavyLoadBlocksOften) {
+  const auto ring = make_ring(16);
+  const auto result =
+      simulate_dynamic_traffic(ring, config_with(64.0, 4, false), 2);
+  EXPECT_GT(result.blocking_probability, 0.2);
+  EXPECT_GT(result.utilization, 0.1);
+}
+
+TEST(DynamicTraffic, BlockingMonotoneInLoad) {
+  const auto torus = make_torus({4, 4});
+  double previous = -1.0;
+  for (const double load : {2.0, 8.0, 32.0}) {
+    const auto result = simulate_dynamic_traffic(
+        torus.graph, config_with(load, 4, false), 3);
+    EXPECT_GE(result.blocking_probability, previous);
+    previous = result.blocking_probability;
+  }
+}
+
+TEST(DynamicTraffic, ConversionReducesBlocking) {
+  // The [34] headline: relaxing wavelength continuity can only help, and
+  // visibly does at moderate load.
+  const auto torus = make_torus({4, 4});
+  const auto without = simulate_dynamic_traffic(
+      torus.graph, config_with(24.0, 4, false), 4);
+  const auto with = simulate_dynamic_traffic(
+      torus.graph, config_with(24.0, 4, true), 4);
+  EXPECT_LT(with.blocking_probability, without.blocking_probability);
+  EXPECT_GT(without.blocking_probability, 0.02);
+}
+
+TEST(DynamicTraffic, MoreWavelengthsReduceBlocking) {
+  const auto ring = make_ring(12);
+  const auto narrow =
+      simulate_dynamic_traffic(ring, config_with(16.0, 2, false), 5);
+  const auto wide =
+      simulate_dynamic_traffic(ring, config_with(16.0, 16, false), 5);
+  EXPECT_LT(wide.blocking_probability, narrow.blocking_probability);
+}
+
+TEST(DynamicTraffic, DeterministicInSeed) {
+  const auto ring = make_ring(10);
+  const auto a = simulate_dynamic_traffic(ring, config_with(8.0, 4, false), 7);
+  const auto b = simulate_dynamic_traffic(ring, config_with(8.0, 4, false), 7);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  const auto c = simulate_dynamic_traffic(ring, config_with(8.0, 4, false), 8);
+  EXPECT_NE(a.blocked, c.blocked);
+}
+
+TEST(DynamicTraffic, UtilizationWithinUnitInterval) {
+  const auto torus = make_torus({3, 3});
+  for (const double load : {1.0, 10.0, 100.0}) {
+    const auto result = simulate_dynamic_traffic(
+        torus.graph, config_with(load, 4, true), 9);
+    EXPECT_GE(result.utilization, 0.0);
+    EXPECT_LE(result.utilization, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "opto/graph/expander.hpp"
+#include "opto/graph/graph_algo.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/graph/node_symmetry.hpp"
+#include "opto/graph/ring.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Expander, CirculantBasics) {
+  const auto graph = make_circulant(12, {1, 3});
+  EXPECT_EQ(graph.node_count(), 12u);
+  // 4-regular.
+  for (NodeId u = 0; u < 12; ++u) EXPECT_EQ(graph.degree(u), 4u);
+  EXPECT_TRUE(is_connected(graph));
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(0, 3));
+  EXPECT_TRUE(graph.has_edge(0, 9));  // wrap of offset 3
+  EXPECT_FALSE(graph.has_edge(0, 2));
+}
+
+TEST(Expander, CirculantWithOffsetOneIsRing) {
+  const auto circulant = make_circulant(9, {1});
+  const auto ring = make_ring(9);
+  EXPECT_EQ(circulant.undirected_edge_count(), ring.undirected_edge_count());
+  EXPECT_EQ(diameter(circulant), diameter(ring));
+}
+
+TEST(Expander, CirculantIsNodeSymmetric) {
+  EXPECT_TRUE(is_node_symmetric(make_circulant(10, {1, 4})));
+  EXPECT_TRUE(is_node_symmetric(make_circulant(8, {1, 2, 4})));
+}
+
+TEST(Expander, CirculantShrinksDiameter) {
+  // Extra chords cut the ring diameter.
+  EXPECT_LT(diameter(make_circulant(64, {1, 8})),
+            diameter(make_circulant(64, {1})));
+}
+
+TEST(Expander, MargulisBasics) {
+  const auto graph = make_margulis_expander(6);
+  EXPECT_EQ(graph.node_count(), 36u);
+  EXPECT_TRUE(is_connected(graph));
+  EXPECT_LE(graph.max_degree(), 8u);
+  // Expanders have small diameter: O(log n) — generous check.
+  EXPECT_LE(diameter(graph), 8u);
+}
+
+TEST(Expander, MargulisExpandsBetterThanRing) {
+  const std::uint32_t samples = 200;
+  const auto margulis = make_margulis_expander(8);      // 64 nodes
+  const auto ring = make_ring(64);
+  const double margulis_expansion =
+      sampled_edge_expansion(margulis, samples, 5);
+  const double ring_expansion = sampled_edge_expansion(ring, samples, 5);
+  EXPECT_GT(margulis_expansion, ring_expansion);
+}
+
+TEST(Expander, SampledExpansionPositiveOnConnected) {
+  const auto torus = make_torus({4, 4});
+  EXPECT_GT(sampled_edge_expansion(torus.graph, 100, 7), 0.0);
+}
+
+TEST(Expander, SampledExpansionDeterministic) {
+  const auto graph = make_circulant(32, {1, 5});
+  EXPECT_DOUBLE_EQ(sampled_edge_expansion(graph, 50, 11),
+                   sampled_edge_expansion(graph, 50, 11));
+}
+
+}  // namespace
+}  // namespace opto

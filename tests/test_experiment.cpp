@@ -1,0 +1,109 @@
+// Bench-harness plumbing: parallel trials, determinism, scaling.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "opto/benchsupport/experiment.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+
+namespace opto {
+namespace {
+
+CollectionFactory bundle_factory(std::uint32_t width, std::uint32_t length) {
+  return [width, length](std::uint64_t /*seed*/) {
+    return make_bundle_collection(1, width, length);
+  };
+}
+
+TEST(Experiment, RunsAllTrials) {
+  ProtocolConfig config;
+  config.bandwidth = 2;
+  config.worm_length = 4;
+  config.max_rounds = 100;
+  const auto aggregate =
+      run_trials(bundle_factory(8, 10), paper_schedule_factory(4, 2), config,
+                 16, /*base_seed=*/1);
+  EXPECT_EQ(aggregate.rounds.count() + aggregate.failures, 16u);
+  EXPECT_EQ(aggregate.failures, 0u);
+  EXPECT_GE(aggregate.rounds.min(), 1.0);
+  EXPECT_DOUBLE_EQ(aggregate.path_congestion.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(aggregate.dilation.mean(), 10.0);
+}
+
+TEST(Experiment, DeterministicInBaseSeed) {
+  ProtocolConfig config;
+  config.bandwidth = 1;
+  config.worm_length = 3;
+  config.max_rounds = 100;
+  const auto a = run_trials(bundle_factory(6, 8),
+                            paper_schedule_factory(3, 1), config, 8, 42);
+  const auto b = run_trials(bundle_factory(6, 8),
+                            paper_schedule_factory(3, 1), config, 8, 42);
+  EXPECT_DOUBLE_EQ(a.rounds.mean(), b.rounds.mean());
+  EXPECT_DOUBLE_EQ(a.charged_time.mean(), b.charged_time.mean());
+}
+
+TEST(Experiment, FailureCounted) {
+  // One wavelength, no delay range would livelock a triangle; the paper
+  // schedule succeeds, so force failure via max_rounds = 1 on a congested
+  // bundle instead.
+  ProtocolConfig config;
+  config.bandwidth = 1;
+  config.worm_length = 8;
+  config.max_rounds = 1;
+  ScheduleFactory no_delay = [](const PathCollection&) {
+    return std::unique_ptr<DeltaSchedule>(new NoDelaySchedule());
+  };
+  const auto aggregate =
+      run_trials(bundle_factory(16, 10), no_delay, config, 4, 7);
+  EXPECT_EQ(aggregate.failures, 4u);
+}
+
+TEST(Experiment, ResultsDirPersistsCsvAndJson) {
+  const std::string dir =
+      ::testing::TempDir() + "opto_results_" +
+      std::to_string(::getpid());
+  ASSERT_EQ(::setenv("OPTO_RESULTS_DIR", dir.c_str(), 1), 0);
+  Table table("demo table, B=2 (L=4)");
+  table.set_header({"x", "y"});
+  table.row().cell(1).cell(2.5);
+  print_experiment_table(table);
+  ASSERT_EQ(::unsetenv("OPTO_RESULTS_DIR"), 0);
+
+  std::ifstream csv(dir + "/demo-table-b-2-l-4.csv");
+  ASSERT_TRUE(csv.good());
+  std::string line;
+  std::getline(csv, line);
+  EXPECT_EQ(line, "x,y");
+  std::ifstream json(dir + "/demo-table-b-2-l-4.json");
+  ASSERT_TRUE(json.good());
+  std::getline(json, line);
+  EXPECT_NE(line.find("\"title\":\"demo table, B=2 (L=4)\""),
+            std::string::npos);
+}
+
+TEST(Experiment, NoResultsDirMeansNoFiles) {
+  ASSERT_EQ(::unsetenv("OPTO_RESULTS_DIR"), 0);
+  Table table("unsaved");
+  table.set_header({"a"});
+  table.row().cell(1);
+  print_experiment_table(table);  // prints only; nothing to assert beyond
+  SUCCEED();                      // not crashing without the env var
+}
+
+TEST(Experiment, ScaledTrialsAtLeastOne) {
+  EXPECT_GE(scaled_trials(1), 1u);
+  EXPECT_GE(scaled_trials(100), 1u);
+}
+
+TEST(Experiment, ReproScaleInRange) {
+  const double scale = repro_scale();
+  EXPECT_GE(scale, 0.05);
+  EXPECT_LE(scale, 100.0);
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph graph;
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_EQ(graph.link_count(), 0u);
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph graph(3, "tri");
+  EXPECT_EQ(graph.node_count(), 3u);
+  const EdgeId e01 = graph.add_edge(0, 1);
+  const EdgeId e12 = graph.add_edge(1, 2);
+  EXPECT_EQ(graph.link_count(), 4u);
+  EXPECT_EQ(graph.undirected_edge_count(), 2u);
+  EXPECT_EQ(graph.source(e01), 0u);
+  EXPECT_EQ(graph.target(e01), 1u);
+  EXPECT_EQ(graph.source(e12), 1u);
+  EXPECT_EQ(graph.target(e12), 2u);
+  EXPECT_EQ(graph.name(), "tri");
+}
+
+TEST(Graph, ReverseLinkPairing) {
+  Graph graph(2);
+  const EdgeId forward = graph.add_edge(0, 1);
+  const EdgeId backward = Graph::reverse(forward);
+  EXPECT_EQ(graph.source(backward), 1u);
+  EXPECT_EQ(graph.target(backward), 0u);
+  EXPECT_EQ(Graph::reverse(backward), forward);
+}
+
+TEST(Graph, OutLinksBothDirections) {
+  Graph graph(3);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 2);
+  EXPECT_EQ(graph.out_links(0).size(), 1u);
+  EXPECT_EQ(graph.out_links(1).size(), 2u);
+  EXPECT_EQ(graph.out_links(2).size(), 1u);
+  EXPECT_EQ(graph.degree(1), 2u);
+  EXPECT_EQ(graph.max_degree(), 2u);
+}
+
+TEST(Graph, FindLinkDirectional) {
+  Graph graph(3);
+  const EdgeId e = graph.add_edge(0, 1);
+  EXPECT_EQ(graph.find_link(0, 1), e);
+  EXPECT_EQ(graph.find_link(1, 0), Graph::reverse(e));
+  EXPECT_EQ(graph.find_link(0, 2), kInvalidEdge);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+}
+
+TEST(Graph, AddNodeGrows) {
+  Graph graph(1);
+  const NodeId added = graph.add_node();
+  EXPECT_EQ(added, 1u);
+  EXPECT_EQ(graph.node_count(), 2u);
+  graph.add_edge(0, added);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+}
+
+TEST(GraphDeath, RejectsSelfLoop) {
+  Graph graph(2);
+  EXPECT_DEATH(graph.add_edge(1, 1), "self-loop");
+}
+
+TEST(GraphDeath, RejectsDuplicateEdge) {
+  Graph graph(2);
+  graph.add_edge(0, 1);
+  EXPECT_DEATH(graph.add_edge(1, 0), "duplicate");
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,112 @@
+// Topology builders: node/edge counts, coordinate mappings, degrees.
+#include <gtest/gtest.h>
+
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/complete.hpp"
+#include "opto/graph/debruijn.hpp"
+#include "opto/graph/graph_algo.hpp"
+#include "opto/graph/hypercube.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/graph/ring.hpp"
+#include "opto/graph/shuffle_exchange.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Builders, Mesh2D) {
+  const auto topo = make_mesh({3, 4});
+  EXPECT_EQ(topo.graph.node_count(), 12u);
+  // Edges: 2*4 vertical + 3*3 horizontal = 17.
+  EXPECT_EQ(topo.graph.undirected_edge_count(), 17u);
+  EXPECT_TRUE(is_connected(topo.graph));
+  const std::uint32_t coords[] = {2, 3};
+  EXPECT_EQ(topo.node_at(coords), 11u);
+  EXPECT_EQ(topo.coords_of(11), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(diameter(topo.graph), 2u + 3u);
+}
+
+TEST(Builders, Mesh1DIsPath) {
+  const auto topo = make_mesh({5});
+  EXPECT_EQ(topo.graph.node_count(), 5u);
+  EXPECT_EQ(topo.graph.undirected_edge_count(), 4u);
+  EXPECT_EQ(diameter(topo.graph), 4u);
+}
+
+TEST(Builders, Mesh3DCounts) {
+  const auto topo = make_mesh({3, 3, 3});
+  EXPECT_EQ(topo.graph.node_count(), 27u);
+  EXPECT_EQ(topo.graph.undirected_edge_count(), 3u * (2 * 9));
+  EXPECT_EQ(diameter(topo.graph), 6u);
+}
+
+TEST(Builders, Torus2D) {
+  const auto topo = make_torus({4, 4});
+  EXPECT_EQ(topo.graph.node_count(), 16u);
+  EXPECT_EQ(topo.graph.undirected_edge_count(), 32u);  // 2 per node
+  for (NodeId u = 0; u < 16; ++u) EXPECT_EQ(topo.graph.degree(u), 4u);
+  EXPECT_EQ(diameter(topo.graph), 4u);  // 2 + 2
+}
+
+TEST(Builders, Hypercube) {
+  const auto graph = make_hypercube(4);
+  EXPECT_EQ(graph.node_count(), 16u);
+  EXPECT_EQ(graph.undirected_edge_count(), 32u);  // n*d/2
+  EXPECT_EQ(diameter(graph), 4u);
+  EXPECT_EQ(hypercube_neighbor(0b0101, 1), 0b0111u);
+}
+
+TEST(Builders, Butterfly) {
+  const auto topo = make_butterfly(3);
+  EXPECT_EQ(topo.rows(), 8u);
+  EXPECT_EQ(topo.levels(), 4u);
+  EXPECT_EQ(topo.graph.node_count(), 32u);
+  // Each of the 3 source levels contributes 2 edges per row.
+  EXPECT_EQ(topo.graph.undirected_edge_count(), 3u * 8u * 2u);
+  EXPECT_EQ(topo.level_of(topo.node_at(2, 5)), 2u);
+  EXPECT_EQ(topo.row_of(topo.node_at(2, 5)), 5u);
+  EXPECT_EQ(topo.input(3), topo.node_at(0, 3));
+  EXPECT_EQ(topo.output(3), topo.node_at(3, 3));
+  EXPECT_TRUE(is_connected(topo.graph));
+}
+
+TEST(Builders, WrapButterfly) {
+  const auto topo = make_wrap_butterfly(3);
+  EXPECT_EQ(topo.levels(), 3u);
+  EXPECT_EQ(topo.graph.node_count(), 24u);
+  EXPECT_EQ(topo.graph.undirected_edge_count(), 3u * 8u * 2u);
+  // Node-symmetric variant: regular of degree 4.
+  for (NodeId u = 0; u < topo.graph.node_count(); ++u)
+    EXPECT_EQ(topo.graph.degree(u), 4u);
+}
+
+TEST(Builders, Ring) {
+  const auto graph = make_ring(7);
+  EXPECT_EQ(graph.node_count(), 7u);
+  EXPECT_EQ(graph.undirected_edge_count(), 7u);
+  EXPECT_EQ(diameter(graph), 3u);
+}
+
+TEST(Builders, DeBruijn) {
+  const auto graph = make_debruijn(4);
+  EXPECT_EQ(graph.node_count(), 16u);
+  EXPECT_TRUE(is_connected(graph));
+  // Diameter of the de Bruijn graph is at most dim.
+  EXPECT_LE(diameter(graph), 4u);
+}
+
+TEST(Builders, ShuffleExchange) {
+  const auto graph = make_shuffle_exchange(4);
+  EXPECT_EQ(graph.node_count(), 16u);
+  EXPECT_TRUE(is_connected(graph));
+  EXPECT_EQ(rotate_left(0b1000, 4), 0b0001u);
+  EXPECT_EQ(rotate_left(0b0011, 4), 0b0110u);
+}
+
+TEST(Builders, Complete) {
+  const auto graph = make_complete(6);
+  EXPECT_EQ(graph.undirected_edge_count(), 15u);
+  EXPECT_EQ(diameter(graph), 1u);
+}
+
+}  // namespace
+}  // namespace opto

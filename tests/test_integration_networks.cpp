@@ -1,0 +1,144 @@
+// End-to-end protocol runs on the paper's application networks
+// (Theorems 1.5–1.7): everything must route, and observed quantities must
+// sit in the regimes the theorems describe.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opto/analysis/bounds.hpp"
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/hypercube.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/leveled.hpp"
+#include "opto/paths/workloads.hpp"
+
+namespace opto {
+namespace {
+
+ProblemShape shape_of(const PathCollection& collection, std::uint32_t L,
+                      std::uint16_t B) {
+  ProblemShape shape;
+  shape.size = collection.size();
+  shape.dilation = collection.dilation();
+  shape.path_congestion = collection.path_congestion();
+  shape.worm_length = L;
+  shape.bandwidth = B;
+  return shape;
+}
+
+TEST(IntegrationNetworks, MeshRandomFunctionServeFirst) {
+  // Theorem 1.6 setup: d-dim mesh, dimension-order, serve-first.
+  auto topo = std::make_shared<MeshTopology>(make_mesh({6, 6}));
+  Rng rng(101);
+  const auto collection = mesh_random_function(topo, rng);
+
+  ProtocolConfig config;
+  config.bandwidth = 2;
+  config.worm_length = 4;
+  config.max_rounds = 300;
+  PaperSchedule schedule(shape_of(collection, 4, 2));
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(101);
+  EXPECT_TRUE(result.success);
+  // Thm 1.6 regime: rounds should be tiny compared to n (loglog-ish).
+  EXPECT_LE(result.rounds_used, 12u);
+}
+
+TEST(IntegrationNetworks, TorusRandomFunctionPriority) {
+  // Theorem 1.5 setup: node-symmetric network + priority routers.
+  auto topo = std::make_shared<MeshTopology>(make_torus({5, 5}));
+  Rng rng(103);
+  const auto collection = mesh_random_function(topo, rng);
+
+  ProtocolConfig config;
+  config.rule = ContentionRule::Priority;
+  config.bandwidth = 2;
+  config.worm_length = 4;
+  config.max_rounds = 300;
+  PaperSchedule schedule(shape_of(collection, 4, 2));
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(103);
+  EXPECT_TRUE(result.success);
+  EXPECT_LE(result.rounds_used, 12u);
+}
+
+TEST(IntegrationNetworks, HypercubeBfsPermutation) {
+  auto cube = std::make_shared<Graph>(make_hypercube(5));
+  Rng rng(107);
+  const auto collection = bfs_random_permutation(cube, rng);
+
+  ProtocolConfig config;
+  config.rule = ContentionRule::Priority;
+  config.bandwidth = 4;
+  config.worm_length = 8;
+  config.max_rounds = 300;
+  PaperSchedule schedule(shape_of(collection, 8, 4));
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(107);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(IntegrationNetworks, ButterflyQFunctionIsLeveledAndRoutes) {
+  // Theorem 1.7 setup: butterfly q-function on the unique leveled system.
+  auto topo = std::make_shared<ButterflyTopology>(make_butterfly(5));
+  Rng rng(109);
+  const auto collection = butterfly_random_q_function(topo, 2, rng);
+  EXPECT_TRUE(is_leveled(collection));
+
+  ProtocolConfig config;
+  config.bandwidth = 2;
+  config.worm_length = 4;
+  config.max_rounds = 300;
+  PaperSchedule schedule(shape_of(collection, 4, 2));
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(109);
+  EXPECT_TRUE(result.success);
+  EXPECT_LE(result.rounds_used, 15u);
+}
+
+TEST(IntegrationNetworks, ChargedTimeWithinBoundRegime) {
+  // The measured charged time should not exceed a generous constant times
+  // the Thm 1.1 closed-form bound (shape check, not absolute).
+  auto topo = std::make_shared<ButterflyTopology>(make_butterfly(4));
+  Rng rng(113);
+  const auto collection = butterfly_random_q_function(topo, 1, rng);
+  const auto shape = shape_of(collection, 4, 2);
+
+  ProtocolConfig config;
+  config.bandwidth = 2;
+  config.worm_length = 4;
+  config.max_rounds = 300;
+  PaperSchedule schedule(shape);
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(113);
+  ASSERT_TRUE(result.success);
+  EXPECT_LT(static_cast<double>(result.total_charged_time),
+            50.0 * runtime_leveled(shape) + 1000.0);
+}
+
+TEST(IntegrationNetworks, BandwidthMonotonicity) {
+  // More wavelengths can only help (statistically): compare rounds at
+  // B=1 vs B=8 on the same workload and seed.
+  auto topo = std::make_shared<MeshTopology>(make_mesh({5, 5}));
+  Rng rng(127);
+  const auto collection = mesh_random_function(topo, rng);
+
+  auto run_with_bandwidth = [&](std::uint16_t B) {
+    ProtocolConfig config;
+    config.bandwidth = B;
+    config.worm_length = 6;
+    config.max_rounds = 400;
+    PaperSchedule schedule(shape_of(collection, 6, B));
+    TrialAndFailure protocol(collection, config, schedule);
+    return protocol.run(127);
+  };
+  const auto narrow = run_with_bandwidth(1);
+  const auto wide = run_with_bandwidth(8);
+  ASSERT_TRUE(narrow.success);
+  ASSERT_TRUE(wide.success);
+  EXPECT_LE(wide.total_charged_time, narrow.total_charged_time);
+}
+
+}  // namespace
+}  // namespace opto

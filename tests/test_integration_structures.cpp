@@ -1,0 +1,117 @@
+// End-to-end behaviour on the lower-bound structures: the qualitative
+// separations the paper proves must be visible in simulation.
+#include <gtest/gtest.h>
+
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+
+namespace opto {
+namespace {
+
+ProblemShape shape_of(const PathCollection& collection, std::uint32_t L,
+                      std::uint16_t B) {
+  ProblemShape shape;
+  shape.size = collection.size();
+  shape.dilation = collection.dilation();
+  shape.path_congestion = collection.path_congestion();
+  shape.worm_length = L;
+  shape.bandwidth = B;
+  return shape;
+}
+
+double mean_rounds(const PathCollection& collection, ProtocolConfig config,
+                   DeltaSchedule& schedule, int trials,
+                   std::uint64_t seed0) {
+  double total = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    TrialAndFailure protocol(collection, config, schedule);
+    const auto result = protocol.run(seed0 + trial);
+    EXPECT_TRUE(result.success);
+    total += result.rounds_used;
+  }
+  return total / trials;
+}
+
+TEST(IntegrationStructures, StaircaseCompletes) {
+  const std::uint32_t L = 4;
+  const auto collection = make_staircase_collection(8, 5, 16, L);
+  ProtocolConfig config;
+  config.worm_length = L;
+  config.max_rounds = 500;
+  PaperSchedule schedule(shape_of(collection, L, 1));
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(5);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(IntegrationStructures, BundleCongestionHalvesAcrossRounds) {
+  // Lemma 2.4's mechanism: with the paper schedule, the active set (and so
+  // the active congestion) decays geometrically or faster.
+  const auto collection = make_bundle_collection(1, 128, 12);
+  ProtocolConfig config;
+  config.worm_length = 4;
+  config.max_rounds = 500;
+  config.track_congestion = true;
+  PaperSchedule schedule(shape_of(collection, 4, 1));
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(31);
+  ASSERT_TRUE(result.success);
+  // After three rounds the survivors must be well below half.
+  if (result.rounds.size() > 3) {
+    EXPECT_LT(result.rounds[3].active_before, 64u);
+  }
+}
+
+TEST(IntegrationStructures, PriorityBeatsServeFirstOnTriangles) {
+  // Main Thm 1.2 vs 1.3 separation: with a small fixed delay range,
+  // serve-first needs more rounds than priority on cyclic structures.
+  const std::uint32_t L = 4;
+  const auto collection = make_triangle_collection(12, 10, L);
+  FixedSchedule schedule(4);
+
+  ProtocolConfig serve_first;
+  serve_first.worm_length = L;
+  serve_first.max_rounds = 3000;
+
+  ProtocolConfig priority = serve_first;
+  priority.rule = ContentionRule::Priority;
+
+  const double sf_rounds = mean_rounds(collection, serve_first, schedule, 6, 900);
+  const double pr_rounds = mean_rounds(collection, priority, schedule, 6, 900);
+  EXPECT_LT(pr_rounds, sf_rounds);
+}
+
+TEST(IntegrationStructures, MixedCollectionRoutes) {
+  StructureBuilder builder;
+  builder.add_staircase(4, 12, 4);
+  builder.add_bundle(16, 8);
+  builder.add_triangle(8, 4);
+  const auto collection = std::move(builder).build();
+
+  ProtocolConfig config;
+  config.worm_length = 4;
+  config.bandwidth = 2;
+  config.max_rounds = 500;
+  PaperSchedule schedule(shape_of(collection, 4, 2));
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(77);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(IntegrationStructures, WiderBundlesNeedMoreRounds) {
+  // The loglog term grows with C̃ — qualitatively, wider bundles take at
+  // least as many rounds under a fixed small delay range.
+  ProtocolConfig config;
+  config.worm_length = 2;
+  config.max_rounds = 5000;
+  FixedSchedule schedule(8);
+
+  const auto narrow = make_bundle_collection(4, 4, 8);
+  const auto wide = make_bundle_collection(4, 64, 8);
+  const double narrow_rounds = mean_rounds(narrow, config, schedule, 5, 400);
+  const double wide_rounds = mean_rounds(wide, config, schedule, 5, 400);
+  EXPECT_LE(narrow_rounds, wide_rounds);
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "opto/util/json.hpp"
+#include "opto/util/table.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Json, FlatObject) {
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    json.begin_object();
+    json.key("name");
+    json.value("x");
+    json.key("count");
+    json.value(std::int64_t{-3});
+    json.key("ratio");
+    json.value(0.5);
+    json.key("ok");
+    json.value(true);
+    json.key("missing");
+    json.null();
+    json.end_object();
+  }
+  EXPECT_EQ(os.str(),
+            R"({"name":"x","count":-3,"ratio":0.5,"ok":true,"missing":null})");
+}
+
+TEST(Json, NestedArrays) {
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    json.begin_array();
+    json.value(std::int64_t{1});
+    json.begin_array();
+    json.value(std::int64_t{2});
+    json.value(std::int64_t{3});
+    json.end_array();
+    json.begin_object();
+    json.key("k");
+    json.value("v");
+    json.end_object();
+    json.end_array();
+  }
+  EXPECT_EQ(os.str(), R"([1,[2,3],{"k":"v"}])");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    json.value("say \"hi\"\n");
+  }
+  EXPECT_EQ(os.str(), R"("say \"hi\"\n")");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    json.begin_array();
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(std::numeric_limits<double>::quiet_NaN());
+    json.end_array();
+  }
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(Json, UnsignedValues) {
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    json.value(std::uint64_t{18446744073709551615ull});
+  }
+  EXPECT_EQ(os.str(), "18446744073709551615");
+}
+
+TEST(JsonDeath, UnbalancedScopes) {
+  EXPECT_DEATH(
+      {
+        std::ostringstream os;
+        JsonWriter json(os);
+        json.begin_object();
+        // destroyed while the object is open
+      },
+      "unbalanced");
+}
+
+TEST(JsonDeath, ValueWithoutKeyInObject) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  EXPECT_DEATH(json.value("orphan"), "key");
+  json.key("k");
+  json.value("v");
+  json.end_object();
+}
+
+TEST(TableJson, RoundTripShape) {
+  Table table("demo, B=2");
+  table.set_header({"a", "b"});
+  table.row().cell("x").cell(1.5);
+  std::ostringstream os;
+  table.print_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"title\":\"demo, B=2\",\"header\":[\"a\",\"b\"],"
+            "\"rows\":[[\"x\",\"1.5\"]]}\n");
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "opto/sim/metrics.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Metrics, MergeAddsCountersAndMaxesMakespan) {
+  PassMetrics a;
+  a.launched = 3;
+  a.delivered = 2;
+  a.killed = 1;
+  a.truncated = 4;
+  a.truncated_arrivals = 1;
+  a.contentions = 5;
+  a.retunes = 2;
+  a.makespan = 17;
+  a.worm_steps = 30;
+  a.link_busy_steps = 90;
+  PassMetrics b;
+  b.launched = 1;
+  b.delivered = 1;
+  b.makespan = 9;
+  b.worm_steps = 4;
+  b.link_busy_steps = 12;
+  a.merge(b);
+  EXPECT_EQ(a.launched, 4u);
+  EXPECT_EQ(a.delivered, 3u);
+  EXPECT_EQ(a.killed, 1u);
+  EXPECT_EQ(a.truncated, 4u);
+  EXPECT_EQ(a.contentions, 5u);
+  EXPECT_EQ(a.retunes, 2u);
+  EXPECT_EQ(a.makespan, 17);
+  EXPECT_EQ(a.worm_steps, 34u);
+  EXPECT_EQ(a.link_busy_steps, 102u);
+}
+
+TEST(Metrics, UtilizationFormula) {
+  PassMetrics metrics;
+  metrics.makespan = 9;  // 10 steps
+  metrics.link_busy_steps = 40;
+  // 8 links × 2 wavelengths × 10 steps = 160 slots.
+  EXPECT_DOUBLE_EQ(metrics.utilization(8, 2), 0.25);
+}
+
+TEST(Metrics, UtilizationDegenerateInputs) {
+  PassMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.utilization(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.utilization(8, 0), 0.0);
+  metrics.makespan = 0;
+  metrics.link_busy_steps = 4;
+  EXPECT_DOUBLE_EQ(metrics.utilization(4, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "opto/sim/occupancy.hpp"
+
+namespace opto {
+namespace {
+
+Claim make_claim(WormId worm, SimTime entry, SimTime release,
+                 std::uint32_t link_index = 0, std::uint32_t priority = 0) {
+  Claim claim;
+  claim.worm = worm;
+  claim.priority = priority;
+  claim.link_index = link_index;
+  claim.entry = entry;
+  claim.release = release;
+  return claim;
+}
+
+TEST(Occupancy, EmptyHasNoOccupant) {
+  OccupancyRegistry registry;
+  EXPECT_FALSE(registry.occupant(3, 0, 10).has_value());
+}
+
+TEST(Occupancy, ClaimVisibleWithinWindow) {
+  OccupancyRegistry registry;
+  registry.claim(3, 1, make_claim(7, 5, 9));
+  EXPECT_TRUE(registry.occupant(3, 1, 5).has_value());
+  EXPECT_TRUE(registry.occupant(3, 1, 8).has_value());
+  EXPECT_FALSE(registry.occupant(3, 1, 9).has_value());  // released
+  EXPECT_FALSE(registry.occupant(3, 0, 6).has_value());  // other wavelength
+  EXPECT_FALSE(registry.occupant(4, 1, 6).has_value());  // other link
+}
+
+TEST(Occupancy, OverwriteReplacesStaleClaim) {
+  OccupancyRegistry registry;
+  registry.claim(2, 0, make_claim(1, 0, 4));
+  registry.claim(2, 0, make_claim(9, 4, 8));
+  const auto occ = registry.occupant(2, 0, 5);
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ->worm, 9u);
+}
+
+TEST(Occupancy, ShortenCapsRelease) {
+  OccupancyRegistry registry;
+  registry.claim(2, 0, make_claim(1, 0, 10));
+  registry.shorten(2, 0, 1, 6);
+  EXPECT_TRUE(registry.occupant(2, 0, 5).has_value());
+  EXPECT_FALSE(registry.occupant(2, 0, 6).has_value());
+}
+
+TEST(Occupancy, ShortenIgnoresForeignClaims) {
+  OccupancyRegistry registry;
+  registry.claim(2, 0, make_claim(1, 0, 10));
+  registry.shorten(2, 0, /*worm=*/5, 3);  // not the owner
+  EXPECT_TRUE(registry.occupant(2, 0, 8).has_value());
+}
+
+TEST(Occupancy, ShortenNeverExtends) {
+  OccupancyRegistry registry;
+  registry.claim(2, 0, make_claim(1, 0, 5));
+  registry.shorten(2, 0, 1, 9);
+  EXPECT_FALSE(registry.occupant(2, 0, 6).has_value());
+}
+
+TEST(Occupancy, SweepDropsExpired) {
+  OccupancyRegistry registry;
+  registry.claim(1, 0, make_claim(1, 0, 5));
+  registry.claim(2, 0, make_claim(2, 0, 20));
+  EXPECT_EQ(registry.size(), 2u);
+  registry.sweep(10);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.occupant(2, 0, 10).has_value());
+}
+
+TEST(Occupancy, ClearEmpties) {
+  OccupancyRegistry registry;
+  registry.claim(1, 0, make_claim(1, 0, 5));
+  registry.clear();
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+}  // namespace
+}  // namespace opto

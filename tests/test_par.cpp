@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "opto/par/parallel_for.hpp"
+#include "opto/par/thread_pool.hpp"
+
+namespace opto {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); }, &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(5, 5, [&touched](std::size_t) { touched = true; }, &pool);
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, ChunkedCoversRange) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  parallel_for_chunked(
+      0, 100,
+      [&sum](std::size_t lo, std::size_t hi) {
+        long local = 0;
+        for (std::size_t i = lo; i < hi; ++i) local += static_cast<long>(i);
+        sum.fetch_add(local);
+      },
+      &pool);
+  EXPECT_EQ(sum.load(), 99L * 100L / 2L);
+}
+
+TEST(ParallelFor, ReentrantFromTasks) {
+  // A parallel_for inside a pool task must not deadlock the completion
+  // latch of the outer call (it uses its own).
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> counter{0};
+  parallel_for(
+      0, 4,
+      [&](std::size_t) {
+        parallel_for(0, 8, [&](std::size_t) { counter.fetch_add(1); },
+                     &inner);
+      },
+      &outer);
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ParallelFor, SequentialFallbackSinglethread) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(0, 5, [&order](std::size_t i) { order.push_back(int(i)); },
+               &pool);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "opto/core/priority_assign.hpp"
+
+namespace opto {
+namespace {
+
+TEST(PriorityAssign, RandomPermutationIsDistinct) {
+  Rng rng(1);
+  const std::vector<PathId> active{3, 5, 9, 11, 20};
+  const auto ranks = assign_priorities(PriorityStrategy::RandomPermutation,
+                                       active, 32, rng);
+  ASSERT_EQ(ranks.size(), active.size());
+  const std::set<std::uint32_t> unique(ranks.begin(), ranks.end());
+  EXPECT_EQ(unique.size(), ranks.size());
+  for (std::uint32_t r : ranks) EXPECT_LT(r, active.size());
+}
+
+TEST(PriorityAssign, RandomPermutationVariesAcrossRounds) {
+  const std::vector<PathId> active(64, 0);
+  std::vector<PathId> ids(64);
+  for (std::uint32_t i = 0; i < 64; ++i) ids[i] = i;
+  Rng rng1(7), rng2(8);
+  const auto a =
+      assign_priorities(PriorityStrategy::RandomPermutation, ids, 64, rng1);
+  const auto b =
+      assign_priorities(PriorityStrategy::RandomPermutation, ids, 64, rng2);
+  EXPECT_NE(a, b);
+}
+
+TEST(PriorityAssign, FixedByPathUsesPathIds) {
+  Rng rng(1);
+  const std::vector<PathId> active{4, 2, 7};
+  const auto ranks =
+      assign_priorities(PriorityStrategy::FixedByPath, active, 8, rng);
+  EXPECT_EQ(ranks, (std::vector<std::uint32_t>{4, 2, 7}));
+}
+
+TEST(PriorityAssign, AdversarialMatchesFixed) {
+  Rng rng(1);
+  const std::vector<PathId> active{0, 1, 2, 3};
+  const auto ranks =
+      assign_priorities(PriorityStrategy::AdversarialByPath, active, 4, rng);
+  EXPECT_EQ(ranks, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(PriorityAssign, ReverseByPathInverts) {
+  Rng rng(1);
+  const std::vector<PathId> active{0, 3};
+  const auto ranks =
+      assign_priorities(PriorityStrategy::ReverseByPath, active, 4, rng);
+  EXPECT_EQ(ranks, (std::vector<std::uint32_t>{3, 0}));
+}
+
+TEST(PriorityAssign, StrategyNames) {
+  EXPECT_STREQ(to_string(PriorityStrategy::RandomPermutation),
+               "random-permutation");
+  EXPECT_STREQ(to_string(PriorityStrategy::AdversarialByPath),
+               "adversarial-by-path");
+}
+
+}  // namespace
+}  // namespace opto

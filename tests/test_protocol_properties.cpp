@@ -1,0 +1,151 @@
+// Protocol-level property sweeps: invariants of TrialAndFailure across
+// (rule, ack mode, conversion, bandwidth) on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/workloads.hpp"
+
+namespace opto {
+namespace {
+
+using Params = std::tuple<ContentionRule, AckMode, ConversionMode, int>;
+
+class ProtocolProperties : public ::testing::TestWithParam<Params> {
+ protected:
+  ProtocolConfig config() const {
+    ProtocolConfig cfg;
+    cfg.rule = std::get<0>(GetParam());
+    cfg.ack_mode = std::get<1>(GetParam());
+    cfg.conversion = std::get<2>(GetParam());
+    cfg.bandwidth = static_cast<std::uint16_t>(std::get<3>(GetParam()));
+    cfg.worm_length = 4;
+    cfg.max_rounds = 500;
+    cfg.keep_round_outcomes = true;
+    return cfg;
+  }
+
+  PathCollection workload(std::uint64_t seed) const {
+    auto topo = std::make_shared<MeshTopology>(make_torus({4, 4}));
+    Rng rng(seed);
+    return mesh_random_function(topo, rng);
+  }
+};
+
+TEST_P(ProtocolProperties, EventuallyDeliversEverything) {
+  const auto collection = workload(11);
+  PaperSchedule schedule([&] {
+    ProblemShape shape;
+    shape.size = collection.size();
+    shape.dilation = collection.dilation();
+    shape.path_congestion = collection.path_congestion();
+    shape.worm_length = 4;
+    shape.bandwidth = config().bandwidth;
+    return shape;
+  }());
+  TrialAndFailure protocol(collection, config(), schedule);
+  const auto result = protocol.run(31);
+  EXPECT_TRUE(result.success);
+  for (const std::uint32_t round : result.completion_round) {
+    EXPECT_GE(round, 1u);
+    EXPECT_LE(round, result.rounds_used);
+  }
+}
+
+TEST_P(ProtocolProperties, RoundAccountingConsistent) {
+  const auto collection = workload(13);
+  FixedSchedule schedule(24);
+  TrialAndFailure protocol(collection, config(), schedule);
+  const auto result = protocol.run(37);
+  ASSERT_TRUE(result.success);
+  SimTime charged = 0;
+  std::uint32_t acked = 0;
+  for (const auto& report : result.rounds) {
+    charged += report.charged_time;
+    acked += report.acknowledged;
+    // Launch set is exactly the not-yet-acknowledged worms.
+    EXPECT_EQ(report.launched.size(), report.active_before);
+    EXPECT_LE(report.acknowledged, report.active_before);
+    EXPECT_LE(report.delivered + 0u, report.active_before);
+    // Acked ⊆ delivered (an ack needs a delivery first).
+    EXPECT_LE(report.acknowledged, report.delivered);
+  }
+  EXPECT_EQ(charged, result.total_charged_time);
+  EXPECT_EQ(acked, collection.size());
+}
+
+TEST_P(ProtocolProperties, LaunchedSetsShrinkToEmpty) {
+  const auto collection = workload(17);
+  FixedSchedule schedule(24);
+  TrialAndFailure protocol(collection, config(), schedule);
+  const auto result = protocol.run(41);
+  ASSERT_TRUE(result.success);
+  std::set<PathId> previous;
+  for (std::size_t r = 0; r < result.rounds.size(); ++r) {
+    const std::set<PathId> current(result.rounds[r].launched.begin(),
+                                   result.rounds[r].launched.end());
+    EXPECT_EQ(current.size(), result.rounds[r].launched.size())
+        << "duplicate launch in round " << r + 1;
+    if (r > 0) {
+      // Monotone: a retired worm never relaunches.
+      for (const PathId id : current) EXPECT_TRUE(previous.count(id));
+    }
+    previous = current;
+  }
+}
+
+TEST_P(ProtocolProperties, CompletionRoundMatchesRoundReports) {
+  const auto collection = workload(19);
+  FixedSchedule schedule(24);
+  TrialAndFailure protocol(collection, config(), schedule);
+  const auto result = protocol.run(43);
+  ASSERT_TRUE(result.success);
+  // A worm's completion round is the last round it was launched in.
+  for (PathId id = 0; id < collection.size(); ++id) {
+    const std::uint32_t done = result.completion_round[id];
+    ASSERT_GE(done, 1u);
+    const auto& launched = result.rounds[done - 1].launched;
+    EXPECT_NE(std::find(launched.begin(), launched.end(), id),
+              launched.end());
+    if (done < result.rounds.size()) {
+      const auto& later = result.rounds[done].launched;
+      EXPECT_EQ(std::find(later.begin(), later.end(), id), later.end());
+    }
+  }
+}
+
+TEST_P(ProtocolProperties, DuplicatesOnlyWithSimulatedAcks) {
+  const auto collection = workload(23);
+  FixedSchedule schedule(16);
+  TrialAndFailure protocol(collection, config(), schedule);
+  const auto result = protocol.run(47);
+  if (config().ack_mode == AckMode::Ideal) {
+    EXPECT_EQ(result.duplicate_deliveries, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolProperties,
+    ::testing::Combine(
+        ::testing::Values(ContentionRule::ServeFirst, ContentionRule::Priority),
+        ::testing::Values(AckMode::Ideal, AckMode::Simulated),
+        ::testing::Values(ConversionMode::None, ConversionMode::Full),
+        ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      std::string name = std::get<0>(info.param) == ContentionRule::ServeFirst
+                             ? "sf"
+                             : "prio";
+      name += std::get<1>(info.param) == AckMode::Ideal ? "_idealack"
+                                                        : "_simack";
+      name += std::get<2>(info.param) == ConversionMode::None ? "_noconv"
+                                                              : "_conv";
+      name += "_B" + std::to_string(std::get<3>(info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "opto/graph/graph_algo.hpp"
+#include "opto/graph/random_regular.hpp"
+
+namespace opto {
+namespace {
+
+TEST(RandomRegular, IsRegularAndSimple) {
+  for (const std::uint32_t degree : {2u, 3u, 4u}) {
+    const auto graph = make_random_regular(24, degree, 7);
+    EXPECT_EQ(graph.node_count(), 24u);
+    EXPECT_EQ(graph.undirected_edge_count(), 24u * degree / 2);
+    for (NodeId u = 0; u < 24; ++u)
+      EXPECT_EQ(graph.degree(u), degree) << "degree " << degree;
+  }
+}
+
+TEST(RandomRegular, DeterministicInSeed) {
+  const auto a = make_random_regular(20, 3, 42);
+  const auto b = make_random_regular(20, 3, 42);
+  const auto c = make_random_regular(20, 3, 43);
+  bool same_ab = true, same_ac = true;
+  for (NodeId u = 0; u < 20; ++u)
+    for (NodeId v = u + 1; v < 20; ++v) {
+      same_ab &= a.has_edge(u, v) == b.has_edge(u, v);
+      same_ac &= a.has_edge(u, v) == c.has_edge(u, v);
+    }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(RandomRegular, TypicallyConnectedAtDegree3) {
+  // Random 3-regular graphs are connected w.h.p.; check several seeds.
+  int connected = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed)
+    connected += is_connected(make_random_regular(30, 3, seed)) ? 1 : 0;
+  EXPECT_GE(connected, 8);
+}
+
+TEST(RandomRegular, SmallDiameter) {
+  // Near-expander: diameter O(log n) — generous cap.
+  const auto graph = make_random_regular(64, 4, 5);
+  if (is_connected(graph)) {
+    EXPECT_LE(diameter(graph), 8u);
+  }
+}
+
+TEST(RandomRegularDeath, RejectsOddStubCount) {
+  EXPECT_DEATH(make_random_regular(5, 3, 1), "even");
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,76 @@
+// ProtocolResult JSON serialization: structurally valid and faithful.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "opto/core/result_json.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+
+namespace opto {
+namespace {
+
+TEST(ResultJson, SerializesARealRun) {
+  const auto collection = make_bundle_collection(1, 6, 8);
+  ProtocolConfig config;
+  config.worm_length = 4;
+  config.max_rounds = 100;
+  FixedSchedule schedule(16);
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(3);
+  ASSERT_TRUE(result.success);
+
+  std::ostringstream os;
+  write_result_json(os, result);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"success\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"rounds_used\":" +
+                      std::to_string(result.rounds_used)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"completion_round\":["), std::string::npos);
+  EXPECT_NE(json.find("\"delta\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"worm_steps\":"), std::string::npos);
+
+  // Balanced braces/brackets (the writer asserts this too, but check the
+  // emitted text end-to-end).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  // One entry per round, one completion entry per worm.
+  std::size_t round_entries = 0, pos = 0;
+  while ((pos = json.find("\"round\":", pos)) != std::string::npos) {
+    ++round_entries;
+    ++pos;
+  }
+  EXPECT_EQ(round_entries, result.rounds.size());
+}
+
+TEST(ResultJson, FailedRunSerializesFalse) {
+  const auto collection = make_triangle_collection(1, 8, 4);
+  ProtocolConfig config;
+  config.worm_length = 4;
+  config.max_rounds = 5;
+  NoDelaySchedule schedule;  // deterministic livelock
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(1);
+  ASSERT_FALSE(result.success);
+  std::ostringstream os;
+  write_result_json(os, result);
+  EXPECT_NE(os.str().find("\"success\":false"), std::string::npos);
+  // Unfinished worms report completion round 0.
+  EXPECT_NE(os.str().find("[0,0,0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "opto/rng/rng.hpp"
+#include "opto/rng/splitmix64.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Rng, DeterministicInSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.next_u64() != c.next_u64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, SplitMixKnownBehaviour) {
+  // splitmix64(0) first output, per the reference implementation.
+  SplitMix64 mixer(0);
+  EXPECT_EQ(mixer.next(), 0xe220a8397b1dcdafull);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(2);
+  std::vector<int> counts(4, 0);
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.next_below(4)];
+  for (int bucket : counts) {
+    EXPECT_GT(bucket, draws / 4 - 600);
+    EXPECT_LT(bucket, draws / 4 + 600);
+  }
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.next_bernoulli(0.0));
+  EXPECT_TRUE(rng.next_bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bernoulli(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Rng rng(6);
+  const auto perm = rng.permutation(50);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, StreamsIndependent) {
+  Rng a = Rng::stream(7, 0);
+  Rng b = Rng::stream(7, 1);
+  Rng a2 = Rng::stream(7, 0);
+  bool differs = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, a2.next_u64());
+    differs |= va != b.next_u64();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(8);
+  std::vector<int> items{1, 2, 3, 4, 5};
+  auto copy = items;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+}  // namespace
+}  // namespace opto

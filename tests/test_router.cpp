@@ -1,0 +1,80 @@
+// Switch taxonomy (§1.2): generalized switches can split wavelengths of
+// one input across outputs, elementary switches cannot — the property the
+// protocol depends on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "opto/optical/router.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Router, GeneralizedSplitsWavelengths) {
+  const std::vector<RouterDemand> demands{
+      {0, 0, 0},  // input 0, λ0 -> output 0
+      {0, 1, 1},  // input 0, λ1 -> output 1
+  };
+  EXPECT_TRUE(
+      check_router_demands(SwitchType::Generalized, 2, demands).ok);
+  EXPECT_FALSE(
+      check_router_demands(SwitchType::Elementary, 2, demands).ok);
+}
+
+TEST(Router, ElementarySingleOutputPerInputIsFine) {
+  const std::vector<RouterDemand> demands{
+      {0, 0, 1},
+      {0, 1, 1},
+      {1, 0, 0},
+  };
+  EXPECT_TRUE(check_router_demands(SwitchType::Elementary, 2, demands).ok);
+}
+
+TEST(Router, OutputWavelengthCollisionRejected) {
+  const std::vector<RouterDemand> demands{
+      {0, 0, 1},
+      {1, 0, 1},  // same wavelength, same output: collision
+  };
+  const auto check = check_router_demands(SwitchType::Generalized, 2, demands);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.reason.find("collide"), std::string::npos);
+}
+
+TEST(Router, BandwidthRespected) {
+  const std::vector<RouterDemand> demands{{0, 5, 0}};
+  EXPECT_FALSE(check_router_demands(SwitchType::Generalized, 4, demands).ok);
+  EXPECT_TRUE(check_router_demands(SwitchType::Generalized, 6, demands).ok);
+}
+
+TEST(Router, DuplicateInputWavelengthRejected) {
+  const std::vector<RouterDemand> demands{{0, 0, 0}, {0, 0, 1}};
+  EXPECT_FALSE(check_router_demands(SwitchType::Generalized, 2, demands).ok);
+}
+
+TEST(Router, Configure2x2Generalized) {
+  const std::vector<RouterDemand> demands{
+      {0, 0, 1},
+      {0, 1, 0},
+      {1, 0, 0},
+      {1, 1, 1},
+  };
+  const auto config = configure_2x2(SwitchType::Generalized, 2, demands);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ((*config)[0 * 2 + 0], 1u);
+  EXPECT_EQ((*config)[0 * 2 + 1], 0u);
+  EXPECT_EQ((*config)[1 * 2 + 0], 0u);
+  EXPECT_EQ((*config)[1 * 2 + 1], 1u);
+}
+
+TEST(Router, Configure2x2ElementaryRefusesSplit) {
+  const std::vector<RouterDemand> demands{{0, 0, 0}, {0, 1, 1}};
+  EXPECT_FALSE(configure_2x2(SwitchType::Elementary, 2, demands).has_value());
+}
+
+TEST(Router, StringNames) {
+  EXPECT_STREQ(to_string(SwitchType::Elementary), "elementary");
+  EXPECT_STREQ(to_string(SwitchType::Generalized), "generalized");
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,144 @@
+// Δ_t schedules: the paper's geometric-halving behaviour and its floor.
+#include <gtest/gtest.h>
+
+#include "opto/core/schedule.hpp"
+
+namespace opto {
+namespace {
+
+ProblemShape shape(std::uint32_t n, std::uint32_t D, std::uint32_t C,
+                   std::uint32_t L, std::uint16_t B) {
+  ProblemShape s;
+  s.size = n;
+  s.dilation = D;
+  s.path_congestion = C;
+  s.worm_length = L;
+  s.bandwidth = B;
+  return s;
+}
+
+TEST(Schedule, PaperScheduleMonotoneNonIncreasing) {
+  PaperSchedule schedule(shape(4096, 20, 512, 8, 2));
+  SimTime prev = schedule.delta(1);
+  for (std::uint32_t t = 2; t <= 20; ++t) {
+    const SimTime cur = schedule.delta(t);
+    EXPECT_LE(cur, prev) << "round " << t;
+    prev = cur;
+  }
+}
+
+TEST(Schedule, PaperScheduleHalvesEarlyRounds) {
+  // With C̃ far above the log floor, consecutive ranges should roughly
+  // halve (the D+L additive keeps it from being exact).
+  const auto s = shape(1u << 20, 10, 1u << 16, 4, 1);
+  PaperSchedule schedule(s);
+  const double range1 =
+      static_cast<double>(schedule.delta(1)) - (s.dilation + s.worm_length);
+  const double range2 =
+      static_cast<double>(schedule.delta(2)) - (s.dilation + s.worm_length);
+  EXPECT_NEAR(range2 / range1, 0.5, 0.1);
+}
+
+TEST(Schedule, PaperScheduleFloorsAtLogTerm) {
+  PaperSchedule schedule(shape(1024, 10, 64, 4, 1));
+  // After many rounds the range must stabilize (log-floor + D + L).
+  const SimTime late1 = schedule.delta(40);
+  const SimTime late2 = schedule.delta(60);
+  EXPECT_EQ(late1, late2);
+  EXPECT_GE(late1, 10 + 4);  // at least D + L
+}
+
+TEST(Schedule, PaperScheduleScalesInverselyWithBandwidth) {
+  const auto s1 = shape(4096, 0, 4096, 8, 1);
+  auto s4 = s1;
+  s4.bandwidth = 4;
+  PaperSchedule one(s1), four(s4);
+  // Range term ∝ 1/B (D = 0 isolates it).
+  EXPECT_NEAR(static_cast<double>(one.delta(1) - 8) /
+                  static_cast<double>(four.delta(1) - 8),
+              4.0, 0.2);
+}
+
+TEST(Schedule, PaperScheduleAlwaysAtLeastOne) {
+  PaperSchedule schedule(shape(2, 0, 0, 1, 16));
+  EXPECT_GE(schedule.delta(1), 1);
+  EXPECT_GE(schedule.delta(100), 1);
+}
+
+TEST(Schedule, FixedScheduleConstant) {
+  FixedSchedule schedule(42);
+  EXPECT_EQ(schedule.delta(1), 42);
+  EXPECT_EQ(schedule.delta(99), 42);
+  EXPECT_EQ(schedule.describe(), "fixed(42)");
+}
+
+TEST(Schedule, NoDelayScheduleIsOne) {
+  NoDelaySchedule schedule;
+  EXPECT_EQ(schedule.delta(1), 1);
+  EXPECT_EQ(schedule.delta(7), 1);
+}
+
+TEST(Schedule, AdaptiveGrowsOnFailure) {
+  AdaptiveSchedule schedule(8);
+  EXPECT_EQ(schedule.delta(1), 8);
+  schedule.observe(100, 10);  // 10% success: too tight
+  EXPECT_EQ(schedule.delta(2), 16);
+  schedule.observe(100, 0);
+  EXPECT_EQ(schedule.delta(3), 32);
+}
+
+TEST(Schedule, AdaptiveShrinksOnEasyRounds) {
+  AdaptiveSchedule schedule(64);
+  schedule.observe(100, 95);  // 95% success: range can shrink
+  EXPECT_EQ(schedule.delta(2), 32);
+}
+
+TEST(Schedule, AdaptiveHoldsInTheMiddleBand) {
+  AdaptiveSchedule schedule(40);
+  schedule.observe(100, 70);  // between the thresholds
+  EXPECT_EQ(schedule.delta(2), 40);
+}
+
+TEST(Schedule, AdaptiveRespectsClamps) {
+  AdaptiveSchedule::Tuning tuning;
+  tuning.min_delta = 4;
+  tuning.max_delta = 32;
+  AdaptiveSchedule schedule(8, tuning);
+  for (int i = 0; i < 10; ++i) schedule.observe(10, 0);
+  EXPECT_EQ(schedule.current(), 32);
+  for (int i = 0; i < 10; ++i) schedule.observe(10, 10);
+  EXPECT_EQ(schedule.current(), 4);
+}
+
+TEST(Schedule, AdaptiveResetRestoresInitial) {
+  AdaptiveSchedule schedule(16);
+  schedule.observe(10, 0);
+  EXPECT_NE(schedule.current(), 16);
+  schedule.reset();
+  EXPECT_EQ(schedule.current(), 16);
+}
+
+TEST(Schedule, AdaptiveIgnoresEmptyRounds) {
+  AdaptiveSchedule schedule(16);
+  schedule.observe(0, 0);
+  EXPECT_EQ(schedule.current(), 16);
+}
+
+TEST(Schedule, NonAdaptiveSchedulesIgnoreFeedback) {
+  FixedSchedule fixed(10);
+  fixed.observe(100, 0);
+  EXPECT_EQ(fixed.delta(5), 10);
+  PaperSchedule paper(shape(64, 4, 8, 2, 1));
+  const SimTime before = paper.delta(3);
+  paper.observe(100, 0);
+  EXPECT_EQ(paper.delta(3), before);
+}
+
+TEST(Schedule, DescribeMentionsConstants) {
+  PaperSchedule schedule(shape(16, 2, 4, 2, 1),
+                         PaperSchedule::Constants{8.0, 3.0});
+  EXPECT_NE(schedule.describe().find("8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,138 @@
+// Path selection strategies: dimension-order, canonical BFS, butterfly
+// greedy, Valiant.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/hypercube.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/bfs_shortest.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/dimension_order.hpp"
+#include "opto/paths/shortcut_free.hpp"
+#include "opto/paths/valiant.hpp"
+
+namespace opto {
+namespace {
+
+TEST(DimensionOrder, RoutesRowMajor) {
+  const auto topo = make_mesh({3, 3});
+  // (0,0) -> (2,1): dimension 0 first (down two), then dimension 1.
+  const auto route = dimension_order_route(topo, 0, 7);
+  EXPECT_EQ(route, (std::vector<NodeId>{0, 3, 6, 7}));
+}
+
+TEST(DimensionOrder, SelfRoute) {
+  const auto topo = make_mesh({3, 3});
+  EXPECT_EQ(dimension_order_route(topo, 4, 4), (std::vector<NodeId>{4}));
+}
+
+TEST(DimensionOrder, LengthIsManhattanDistance) {
+  const auto topo = make_mesh({5, 5, 5});
+  for (NodeId s : {0u, 31u, 124u})
+    for (NodeId t : {7u, 62u, 93u}) {
+      const auto sc = topo.coords_of(s);
+      const auto tc = topo.coords_of(t);
+      std::uint32_t manhattan = 0;
+      for (std::size_t d = 0; d < 3; ++d)
+        manhattan += sc[d] > tc[d] ? sc[d] - tc[d] : tc[d] - sc[d];
+      EXPECT_EQ(dimension_order_path(topo, s, t).length(), manhattan);
+    }
+}
+
+TEST(DimensionOrder, TorusTakesShorterWrap) {
+  const auto topo = make_torus({6});
+  // 0 -> 5 is one hop across the wrap edge.
+  EXPECT_EQ(dimension_order_route(topo, 0, 5), (std::vector<NodeId>{0, 5}));
+  // 0 -> 2 goes forward.
+  EXPECT_EQ(dimension_order_route(topo, 0, 2),
+            (std::vector<NodeId>{0, 1, 2}));
+  // Tie (distance 3 both ways) resolves to the +1 direction.
+  EXPECT_EQ(dimension_order_route(topo, 0, 3),
+            (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(DimensionOrder, MeshSystemShortcutFree) {
+  const auto topo = std::make_shared<MeshTopology>(make_mesh({3, 3}));
+  std::shared_ptr<const Graph> graph(topo, &topo->graph);
+  PathCollection collection(graph);
+  for (NodeId s = 0; s < 9; ++s)
+    collection.add(dimension_order_path(*topo, s, (s * 5 + 2) % 9));
+  EXPECT_TRUE(is_shortcut_free(collection));
+}
+
+TEST(BfsShortest, PathHasBfsDistance) {
+  const auto cube = std::make_shared<Graph>(make_hypercube(4));
+  const auto path = bfs_shortest_path(*cube, 0b0000, 0b1011);
+  EXPECT_EQ(path.length(), 3u);  // Hamming distance
+}
+
+TEST(BfsShortest, CollectionSharesTreesPerSource) {
+  const auto cube = std::make_shared<Graph>(make_hypercube(3));
+  std::vector<std::pair<NodeId, NodeId>> requests;
+  for (NodeId t = 0; t < 8; ++t) requests.emplace_back(0, t);
+  const auto collection = bfs_collection(cube, requests);
+  EXPECT_EQ(collection.size(), 8u);
+  // Same-source canonical paths form a tree: no meet/separate/meet, hence
+  // short-cut free.
+  EXPECT_TRUE(is_shortcut_free(collection));
+}
+
+TEST(BfsShortest, Deterministic) {
+  const auto cube = std::make_shared<Graph>(make_hypercube(4));
+  const auto a = bfs_shortest_path(*cube, 3, 12);
+  const auto b = bfs_shortest_path(*cube, 3, 12);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ButterflyPaths, UniqueGreedyRoute) {
+  const auto topo = make_butterfly(3);
+  const auto path = butterfly_io_path(topo, 0b101, 0b011);
+  EXPECT_EQ(path.length(), 3u);
+  const auto nodes = path.nodes(topo.graph);
+  EXPECT_EQ(nodes.front(), topo.input(0b101));
+  EXPECT_EQ(nodes.back(), topo.output(0b011));
+  // Row after level ℓ has bits 0..ℓ-1 corrected.
+  EXPECT_EQ(topo.row_of(nodes[1]), 0b101u);                // bit0: 1->1
+  EXPECT_EQ(topo.row_of(nodes[2]), 0b111u);                // bit1: 0->1
+  EXPECT_EQ(topo.row_of(nodes[3]), 0b011u);                // bit2: 1->0
+}
+
+TEST(ButterflyPaths, StraightWhenRowsEqual) {
+  const auto topo = make_butterfly(4);
+  const auto path = butterfly_io_path(topo, 5, 5);
+  for (const NodeId node : path.nodes(topo.graph))
+    EXPECT_EQ(topo.row_of(node), 5u);
+}
+
+TEST(ButterflyPaths, CollectionIsShortcutFree) {
+  auto topo = std::make_shared<ButterflyTopology>(make_butterfly(3));
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> requests;
+  for (std::uint32_t r = 0; r < 8; ++r) requests.emplace_back(r, 7 - r);
+  const auto collection = butterfly_io_collection(topo, requests);
+  EXPECT_TRUE(is_shortcut_free(collection));
+  EXPECT_EQ(collection.dilation(), 3u);
+}
+
+TEST(Valiant, RouteEndsAtDestination) {
+  const auto topo = make_mesh({4, 4});
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const auto path = valiant_mesh_path(topo, 0, 15, rng);
+    EXPECT_EQ(path.source(), 0u);
+    EXPECT_EQ(path.destination(), 15u);
+    EXPECT_GE(path.length(), 6u);  // at least the Manhattan distance
+  }
+}
+
+TEST(Valiant, SelfRouteStaysPut) {
+  const auto topo = make_mesh({3, 3});
+  Rng rng(5);
+  const auto path = valiant_mesh_path(topo, 4, 4, rng);
+  EXPECT_EQ(path.source(), 4u);
+  EXPECT_EQ(path.destination(), 4u);
+}
+
+}  // namespace
+}  // namespace opto

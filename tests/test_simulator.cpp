@@ -1,0 +1,310 @@
+// Hand-computed scenarios for the wormhole engine under the serve-first
+// rule. Every expectation below is derived directly from the model:
+// a worm injected at s enters link i at s+i and occupies it for its flit
+// length; an entrant finding the wavelength busy is eliminated; its
+// upstream flits keep draining (and keep blocking).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "opto/paths/path_collection.hpp"
+#include "opto/sim/simulator.hpp"
+
+namespace opto {
+namespace {
+
+/// Chain graph 0-1-2-...-n with extra edges on demand.
+std::shared_ptr<Graph> make_chain(NodeId nodes) {
+  auto graph = std::make_shared<Graph>(nodes, "chain");
+  for (NodeId u = 0; u + 1 < nodes; ++u) graph->add_edge(u, u + 1);
+  return graph;
+}
+
+PathCollection chain_bundle(std::shared_ptr<const Graph> graph, NodeId from,
+                            NodeId to, std::uint32_t copies) {
+  PathCollection collection(graph);
+  std::vector<NodeId> nodes;
+  for (NodeId u = from; u <= to; ++u) nodes.push_back(u);
+  for (std::uint32_t c = 0; c < copies; ++c)
+    collection.add(Path::from_nodes(*graph, nodes));
+  return collection;
+}
+
+LaunchSpec spec(PathId path, SimTime start, Wavelength wl, std::uint32_t len,
+                std::uint32_t priority = 0) {
+  LaunchSpec s;
+  s.path = path;
+  s.start_time = start;
+  s.wavelength = wl;
+  s.length = len;
+  s.priority = priority;
+  return s;
+}
+
+TEST(Simulator, SingleWormDeliversOnSchedule) {
+  const auto graph = make_chain(5);  // path length 4
+  const auto collection = chain_bundle(graph, 0, 4, 1);
+  Simulator sim(collection, {});
+  const auto result = sim.run(std::vector<LaunchSpec>{spec(0, 0, 0, 3)});
+
+  ASSERT_EQ(result.worms.size(), 1u);
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  // Head enters last link (index 3) at t=3; tail leaves at 3 + L - 1 = 5.
+  EXPECT_EQ(result.worms[0].finish_time, 5);
+  EXPECT_EQ(result.metrics.delivered, 1u);
+  EXPECT_EQ(result.metrics.killed, 0u);
+  EXPECT_EQ(result.metrics.makespan, 5);
+}
+
+TEST(Simulator, SingleWormWithDelay) {
+  const auto graph = make_chain(3);
+  const auto collection = chain_bundle(graph, 0, 2, 1);
+  Simulator sim(collection, {});
+  const auto result = sim.run(std::vector<LaunchSpec>{spec(0, 7, 0, 2)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  // Enters link 1 at t=8, tail leaves at 8 + 1 = 9.
+  EXPECT_EQ(result.worms[0].finish_time, 9);
+}
+
+TEST(Simulator, ZeroLengthPathDeliversInstantly) {
+  const auto graph = make_chain(2);
+  PathCollection collection(graph);
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{1}));
+  Simulator sim(collection, {});
+  const auto result = sim.run(std::vector<LaunchSpec>{spec(0, 4, 0, 5)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_EQ(result.worms[0].finish_time, 4);
+}
+
+TEST(Simulator, LaterWormEliminatedByOccupant) {
+  const auto graph = make_chain(5);
+  const auto collection = chain_bundle(graph, 0, 4, 2);
+  Simulator sim(collection, {});
+  // w0 occupies link 0 during [0, 2]; w1 arrives at t=1 -> eliminated.
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 3), spec(1, 1, 0, 3)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_EQ(result.worms[1].status, WormStatus::Killed);
+  EXPECT_EQ(result.worms[1].blocked_by, 0u);
+  EXPECT_EQ(result.worms[1].blocked_at_link, 0u);
+  EXPECT_EQ(result.worms[1].finish_time, 1);
+  EXPECT_EQ(result.metrics.killed, 1u);
+  EXPECT_EQ(result.metrics.contentions, 1u);
+}
+
+TEST(Simulator, DisjointWavelengthsDoNotCollide) {
+  const auto graph = make_chain(5);
+  const auto collection = chain_bundle(graph, 0, 4, 2);
+  SimConfig config;
+  config.bandwidth = 2;
+  Simulator sim(collection, config);
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 3), spec(1, 0, 1, 3)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_TRUE(result.worms[1].delivered_intact());
+  EXPECT_EQ(result.metrics.contentions, 0u);
+}
+
+TEST(Simulator, SpacedWormsShareLinkSequentially) {
+  const auto graph = make_chain(5);
+  const auto collection = chain_bundle(graph, 0, 4, 2);
+  Simulator sim(collection, {});
+  // w0 frees link 0 after step L-1=2; w1 entering at t=3 fits behind it.
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 3), spec(1, 3, 0, 3)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_TRUE(result.worms[1].delivered_intact());
+}
+
+TEST(Simulator, SimultaneousArrivalKillAll) {
+  const auto graph = make_chain(4);
+  const auto collection = chain_bundle(graph, 0, 3, 2);
+  Simulator sim(collection, {});  // default tie: KillAll
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 2), spec(1, 0, 0, 2)});
+  EXPECT_EQ(result.worms[0].status, WormStatus::Killed);
+  EXPECT_EQ(result.worms[1].status, WormStatus::Killed);
+  // Dead-heat: each cites the other as witness.
+  EXPECT_EQ(result.worms[0].blocked_by, 1u);
+  EXPECT_EQ(result.worms[1].blocked_by, 0u);
+}
+
+TEST(Simulator, SimultaneousArrivalFirstWins) {
+  const auto graph = make_chain(4);
+  const auto collection = chain_bundle(graph, 0, 3, 2);
+  SimConfig config;
+  config.tie = TiePolicy::FirstWins;
+  Simulator sim(collection, config);
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 2), spec(1, 0, 0, 2)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_EQ(result.worms[1].status, WormStatus::Killed);
+  EXPECT_EQ(result.worms[1].blocked_by, 0u);
+}
+
+TEST(Simulator, CrossingPathsCollideOnSharedLink) {
+  // A: 0-1-2-3, B: 4-1-2-5. Shared link 1->2 at position 1 on both.
+  auto graph = std::make_shared<Graph>(6, "cross");
+  graph->add_edge(0, 1);
+  graph->add_edge(1, 2);
+  graph->add_edge(2, 3);
+  graph->add_edge(4, 1);
+  graph->add_edge(2, 5);
+  PathCollection collection(graph);
+  collection.add(
+      Path::from_nodes(*graph, std::vector<NodeId>{0, 1, 2, 3}));
+  collection.add(
+      Path::from_nodes(*graph, std::vector<NodeId>{4, 1, 2, 5}));
+
+  Simulator sim(collection, {});
+  // A enters 1->2 at t=1, occupies [1, 3] (L=3); B arrives there at t=2.
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 3), spec(1, 1, 0, 3)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_EQ(result.worms[1].status, WormStatus::Killed);
+  EXPECT_EQ(result.worms[1].blocked_at_link, 1u);
+  EXPECT_EQ(result.worms[1].blocked_by, 0u);
+}
+
+TEST(Simulator, DrainingWormStillBlocksUpstream) {
+  // B (4-1-2-5) is killed at link 1->2 but its flits drain through 4->1
+  // and must still eliminate C (4-1-6) there.
+  auto graph = std::make_shared<Graph>(7, "drain");
+  graph->add_edge(0, 1);
+  graph->add_edge(1, 2);
+  graph->add_edge(2, 3);
+  graph->add_edge(4, 1);
+  graph->add_edge(2, 5);
+  graph->add_edge(1, 6);
+  PathCollection collection(graph);
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{0, 1, 2, 3}));
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{4, 1, 2, 5}));
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{4, 1, 6}));
+
+  Simulator sim(collection, {});
+  const auto result = sim.run(std::vector<LaunchSpec>{
+      spec(0, 0, 0, 3),   // A delivers
+      spec(1, 1, 0, 3),   // B killed at 1->2 at t=2; occupies 4->1 on [1,3]
+      spec(2, 2, 0, 3)}); // C hits 4->1 at t=2 -> killed by draining B
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_EQ(result.worms[1].status, WormStatus::Killed);
+  EXPECT_EQ(result.worms[2].status, WormStatus::Killed);
+  EXPECT_EQ(result.worms[2].blocked_by, 1u);
+  EXPECT_EQ(result.worms[2].blocked_at_link, 0u);
+}
+
+TEST(Simulator, WormPassesAfterDrainWindow) {
+  // Same geometry, but C arrives after B's flits fully drained off 4->1.
+  auto graph = std::make_shared<Graph>(7, "drain2");
+  graph->add_edge(0, 1);
+  graph->add_edge(1, 2);
+  graph->add_edge(2, 3);
+  graph->add_edge(4, 1);
+  graph->add_edge(2, 5);
+  graph->add_edge(1, 6);
+  PathCollection collection(graph);
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{0, 1, 2, 3}));
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{4, 1, 2, 5}));
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{4, 1, 6}));
+
+  Simulator sim(collection, {});
+  // B occupies 4->1 on [1, 3]; C enters at t=4.
+  const auto result = sim.run(std::vector<LaunchSpec>{
+      spec(0, 0, 0, 3), spec(1, 1, 0, 3), spec(2, 4, 0, 3)});
+  EXPECT_TRUE(result.worms[2].delivered_intact());
+}
+
+TEST(Simulator, TraceRecordsLifecycle) {
+  const auto graph = make_chain(4);
+  const auto collection = chain_bundle(graph, 0, 3, 2);
+  SimConfig config;
+  config.record_trace = true;
+  Simulator sim(collection, config);
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 2), spec(1, 1, 0, 2)});
+
+  std::size_t injects = 0, admits = 0, kills = 0, delivers = 0;
+  for (const auto& event : result.trace.events()) {
+    switch (event.kind) {
+      case TraceKind::Inject: ++injects; break;
+      case TraceKind::Admit: ++admits; break;
+      case TraceKind::Kill: ++kills; break;
+      case TraceKind::Deliver: ++delivers; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(injects, 2u);
+  EXPECT_EQ(admits, 3u);  // w0 crosses 3 links; w1 admitted nowhere
+  EXPECT_EQ(kills, 1u);
+  EXPECT_EQ(delivers, 1u);
+}
+
+TEST(Simulator, MetricsCountWormSteps) {
+  const auto graph = make_chain(6);
+  const auto collection = chain_bundle(graph, 0, 5, 1);
+  Simulator sim(collection, {});
+  const auto result = sim.run(std::vector<LaunchSpec>{spec(0, 0, 0, 2)});
+  EXPECT_EQ(result.metrics.worm_steps, 5u);
+  EXPECT_EQ(result.metrics.launched, 1u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto graph = make_chain(6);
+  const auto collection = chain_bundle(graph, 0, 5, 4);
+  Simulator sim(collection, {});
+  const std::vector<LaunchSpec> specs{spec(0, 0, 0, 3), spec(1, 1, 0, 3),
+                                      spec(2, 2, 0, 3), spec(3, 5, 0, 3)};
+  const auto a = sim.run(specs);
+  const auto b = sim.run(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(a.worms[i].status, b.worms[i].status);
+    EXPECT_EQ(a.worms[i].finish_time, b.worms[i].finish_time);
+  }
+}
+
+TEST(Simulator, LinkBusyStepsSingleWorm) {
+  const auto graph = make_chain(5);  // 4 undirected = 8 directed links
+  const auto collection = chain_bundle(graph, 0, 4, 1);
+  Simulator sim(collection, {});
+  const auto result = sim.run(std::vector<LaunchSpec>{spec(0, 0, 0, 3)});
+  // 4 links × 3 flits each.
+  EXPECT_EQ(result.metrics.link_busy_steps, 12u);
+  // makespan 5 → 6 steps × 8 links × B=1 slots.
+  EXPECT_DOUBLE_EQ(result.metrics.utilization(8, 1), 12.0 / 48.0);
+}
+
+TEST(Simulator, LinkBusyStepsAccountTruncationTrim) {
+  const auto graph = make_chain(5);
+  PathCollection collection(graph);
+  const std::vector<NodeId> nodes{0, 1, 2, 3, 4};
+  collection.add(Path::from_nodes(*graph, nodes));
+  collection.add(Path::from_nodes(*graph, nodes));
+  SimConfig config;
+  config.rule = ContentionRule::Priority;
+  Simulator sim(collection, config);
+  // w0 (rank 1, L=4) is cut at link 0 at t=2 by w1 (rank 2): w0's stream
+  // shrinks to 2 flits everywhere, so it occupies 2 per link (8 total);
+  // w1 occupies 4 per link (16 total).
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 4, 1), spec(1, 2, 0, 4, 2)});
+  ASSERT_EQ(result.metrics.truncated, 1u);
+  EXPECT_EQ(result.metrics.link_busy_steps, 8u + 16u);
+}
+
+TEST(Simulator, LongWormBlocksWholeWindow) {
+  const auto graph = make_chain(3);
+  const auto collection = chain_bundle(graph, 0, 2, 2);
+  Simulator sim(collection, {});
+  // L=10: w0 occupies link 0 during [0, 9]; w1 at t=9 still blocked.
+  const auto blocked = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 10), spec(1, 9, 0, 10)});
+  EXPECT_EQ(blocked.worms[1].status, WormStatus::Killed);
+  // At t=10 the link is free.
+  const auto free = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 10), spec(1, 10, 0, 10)});
+  EXPECT_TRUE(free.worms[1].delivered_intact());
+}
+
+}  // namespace
+}  // namespace opto

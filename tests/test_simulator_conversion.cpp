@@ -1,0 +1,228 @@
+// Wavelength-conversion extension (§4 / the [11] setting): a blocked
+// entrant at a converting router retunes to a free wavelength instead of
+// dying.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/path_collection.hpp"
+#include "opto/sim/simulator.hpp"
+
+namespace opto {
+namespace {
+
+std::shared_ptr<Graph> make_chain(NodeId nodes) {
+  auto graph = std::make_shared<Graph>(nodes, "chain");
+  for (NodeId u = 0; u + 1 < nodes; ++u) graph->add_edge(u, u + 1);
+  return graph;
+}
+
+PathCollection chain_bundle(std::shared_ptr<const Graph> graph, NodeId from,
+                            NodeId to, std::uint32_t copies) {
+  PathCollection collection(graph);
+  std::vector<NodeId> nodes;
+  for (NodeId u = from; u <= to; ++u) nodes.push_back(u);
+  for (std::uint32_t c = 0; c < copies; ++c)
+    collection.add(Path::from_nodes(*graph, nodes));
+  return collection;
+}
+
+LaunchSpec spec(PathId path, SimTime start, Wavelength wl, std::uint32_t len,
+                std::uint32_t priority = 0) {
+  LaunchSpec s;
+  s.path = path;
+  s.start_time = start;
+  s.wavelength = wl;
+  s.length = len;
+  s.priority = priority;
+  return s;
+}
+
+TEST(Conversion, BlockedEntrantRetunes) {
+  const auto graph = make_chain(5);
+  const auto collection = chain_bundle(graph, 0, 4, 2);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::Full;
+  Simulator sim(collection, config);
+  // Without conversion w1 (same wavelength, overlapping window) dies; with
+  // conversion it hops to wavelength 1 and both deliver.
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 3), spec(1, 1, 0, 3)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_TRUE(result.worms[1].delivered_intact());
+  EXPECT_EQ(result.metrics.retunes, 1u);
+  EXPECT_EQ(result.metrics.killed, 0u);
+}
+
+TEST(Conversion, NoConversionStillKills) {
+  const auto graph = make_chain(5);
+  const auto collection = chain_bundle(graph, 0, 4, 2);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::None;
+  Simulator sim(collection, config);
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 3), spec(1, 1, 0, 3)});
+  EXPECT_EQ(result.worms[1].status, WormStatus::Killed);
+}
+
+TEST(Conversion, AllWavelengthsBusyStillKillsServeFirst) {
+  const auto graph = make_chain(5);
+  const auto collection = chain_bundle(graph, 0, 4, 3);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::Full;
+  Simulator sim(collection, config);
+  // w0 and w1 fill both wavelengths; w2 has nowhere to go.
+  const auto result = sim.run(std::vector<LaunchSpec>{
+      spec(0, 0, 0, 4), spec(1, 0, 1, 4), spec(2, 1, 0, 4)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_TRUE(result.worms[1].delivered_intact());
+  EXPECT_EQ(result.worms[2].status, WormStatus::Killed);
+  EXPECT_EQ(result.worms[2].blocked_by, 0u);  // holder of preferred λ0
+}
+
+TEST(Conversion, SimultaneousEntrantsSpreadAcrossWavelengths) {
+  const auto graph = make_chain(4);
+  const auto collection = chain_bundle(graph, 0, 3, 3);
+  SimConfig config;
+  config.bandwidth = 4;
+  config.conversion = ConversionMode::Full;
+  Simulator sim(collection, config);
+  // All three prefer λ0 at t=0; with conversion they fan out.
+  const auto result = sim.run(std::vector<LaunchSpec>{
+      spec(0, 0, 0, 2), spec(1, 0, 0, 2), spec(2, 0, 0, 2)});
+  EXPECT_EQ(result.metrics.delivered, 3u);
+  EXPECT_EQ(result.metrics.retunes, 2u);  // ids 1, 2 retune at link 0
+}
+
+TEST(Conversion, RetunedWormKeepsNewWavelengthDownstream) {
+  const auto graph = make_chain(6);
+  const auto collection = chain_bundle(graph, 0, 5, 2);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::Full;
+  config.record_trace = true;
+  Simulator sim(collection, config);
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 2), spec(1, 1, 0, 2)});
+  ASSERT_TRUE(result.worms[1].delivered_intact());
+  // After the retune at link 0, every admission of worm 1 uses λ1.
+  bool seen_retune = false;
+  for (const auto& event : result.trace.events()) {
+    if (event.worm != 1) continue;
+    if (event.kind == TraceKind::Retune) {
+      seen_retune = true;
+      EXPECT_EQ(event.wavelength, 1u);
+    } else if (event.kind == TraceKind::Admit && seen_retune) {
+      EXPECT_EQ(event.wavelength, 1u);
+    }
+  }
+  EXPECT_TRUE(seen_retune);
+}
+
+TEST(Conversion, SparseOnlyConvertsAtFlaggedNodes) {
+  const auto graph = make_chain(6);
+  const auto collection = chain_bundle(graph, 0, 5, 2);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::Sparse;
+  config.converters.assign(graph->node_count(), 0);
+  // No converter at node 0 (the coupler feeding link 0): the injection
+  // collision still kills.
+  {
+    Simulator sim(collection, config);
+    const auto result = sim.run(
+        std::vector<LaunchSpec>{spec(0, 0, 0, 3), spec(1, 1, 0, 3)});
+    EXPECT_EQ(result.worms[1].status, WormStatus::Killed);
+  }
+  // Converter at node 0: the same collision retunes.
+  config.converters[0] = 1;
+  {
+    Simulator sim(collection, config);
+    const auto result = sim.run(
+        std::vector<LaunchSpec>{spec(0, 0, 0, 3), spec(1, 1, 0, 3)});
+    EXPECT_TRUE(result.worms[1].delivered_intact());
+    EXPECT_EQ(result.metrics.retunes, 1u);
+  }
+}
+
+TEST(Conversion, PriorityStealsWeakestOccupantWhenSaturated) {
+  const auto graph = make_chain(5);
+  const auto collection = chain_bundle(graph, 0, 4, 3);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::Full;
+  config.rule = ContentionRule::Priority;
+  Simulator sim(collection, config);
+  // λ0 held by rank 5, λ1 by rank 2; entrant rank 9 steals λ1 (weakest).
+  const auto result = sim.run(std::vector<LaunchSpec>{
+      spec(0, 0, 0, 6, 5), spec(1, 0, 1, 6, 2), spec(2, 2, 0, 6, 9)});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+  EXPECT_TRUE(result.worms[2].delivered_intact());
+  EXPECT_TRUE(result.worms[1].truncated);
+  EXPECT_EQ(result.metrics.truncated, 1u);
+}
+
+TEST(Conversion, PriorityLoserStillKilledWhenWeaker) {
+  const auto graph = make_chain(5);
+  const auto collection = chain_bundle(graph, 0, 4, 3);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::Full;
+  config.rule = ContentionRule::Priority;
+  Simulator sim(collection, config);
+  const auto result = sim.run(std::vector<LaunchSpec>{
+      spec(0, 0, 0, 6, 5), spec(1, 0, 1, 6, 8), spec(2, 2, 0, 6, 1)});
+  EXPECT_EQ(result.worms[2].status, WormStatus::Killed);
+}
+
+TEST(Conversion, TriangleDeadlockEscapedWithConversion) {
+  // The Fig. 6 livelock requires all three worms to share one wavelength
+  // everywhere; with B=2 and full conversion someone always escapes.
+  const std::uint32_t L = 4;
+  const auto collection = make_triangle_collection(1, 10, L);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::Full;
+  Simulator sim(collection, config);
+  std::vector<LaunchSpec> specs;
+  for (PathId id = 0; id < 3; ++id) specs.push_back(spec(id, 0, 0, L));
+  const auto result = sim.run(specs);
+  EXPECT_EQ(result.metrics.delivered, 3u);
+}
+
+TEST(Conversion, TruncationShortensHistoryWavelengthClaims) {
+  // A retuned worm later truncated must release its *new* wavelength's
+  // claims (regression guard for the wavelength-history bookkeeping).
+  auto graph = std::make_shared<Graph>(7, "hist");
+  graph->add_edge(0, 1);
+  graph->add_edge(1, 2);
+  graph->add_edge(2, 3);
+  graph->add_edge(4, 1);
+  graph->add_edge(2, 5);
+  PathCollection collection(graph);
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{0, 1, 2, 3}));
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{0, 1, 2, 3}));
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{4, 1, 2, 5}));
+
+  SimConfig config;
+  config.bandwidth = 2;
+  config.conversion = ConversionMode::Full;
+  config.rule = ContentionRule::Priority;
+  Simulator sim(collection, config);
+  // w0 λ0; w1 retunes to λ1 at injection; w2 (top rank, λ1) saturates both
+  // wavelengths at link 1->2 and steals from the weaker of w0/w1.
+  const auto result = sim.run(std::vector<LaunchSpec>{
+      spec(0, 0, 0, 6, 5), spec(1, 0, 0, 6, 3), spec(2, 2, 1, 6, 9)});
+  EXPECT_TRUE(result.worms[2].delivered_intact());
+  EXPECT_EQ(result.metrics.truncated, 1u);
+  // The weakest (w1, rank 3) was cut.
+  EXPECT_TRUE(result.worms[1].truncated);
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,218 @@
+// Property-based sweeps over (rule, tie policy, bandwidth, worm length):
+// invariants of the engine on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/dimension_order.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/sim/simulator.hpp"
+
+namespace opto {
+namespace {
+
+using Params = std::tuple<ContentionRule, TiePolicy, int /*B*/, int /*L*/>;
+
+class SimulatorProperties : public ::testing::TestWithParam<Params> {
+ protected:
+  SimConfig config() const {
+    const auto& [rule, tie, bandwidth, length] = GetParam();
+    SimConfig cfg;
+    cfg.rule = rule;
+    cfg.tie = tie;
+    cfg.bandwidth = static_cast<std::uint16_t>(bandwidth);
+    cfg.record_trace = true;
+    return cfg;
+  }
+
+  std::uint32_t worm_length() const { return std::get<3>(GetParam()); }
+
+  /// Random-function workload on a 4x4 torus with random delays in
+  /// [0, spread) and random wavelengths; priorities are a permutation.
+  std::pair<PathCollection, std::vector<LaunchSpec>> make_workload(
+      std::uint64_t seed, SimTime spread) const {
+    auto topo = std::make_shared<MeshTopology>(make_torus({4, 4}));
+    Rng rng(seed);
+    auto collection = mesh_random_function(topo, rng);
+    const auto ranks = rng.permutation(collection.size());
+    std::vector<LaunchSpec> specs(collection.size());
+    for (PathId id = 0; id < collection.size(); ++id) {
+      specs[id].path = id;
+      specs[id].start_time =
+          static_cast<SimTime>(rng.next_below(static_cast<std::uint64_t>(spread)));
+      specs[id].wavelength = static_cast<Wavelength>(
+          rng.next_below(config().bandwidth));
+      specs[id].priority = ranks[id];
+      specs[id].length = worm_length();
+    }
+    return {std::move(collection), std::move(specs)};
+  }
+};
+
+TEST_P(SimulatorProperties, EveryWormResolves) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto [collection, specs] = make_workload(seed, 8);
+    Simulator sim(collection, config());
+    const auto result = sim.run(specs);
+    std::uint64_t delivered_intact = 0, killed = 0, truncated_arrived = 0;
+    for (const auto& worm : result.worms) {
+      EXPECT_TRUE(worm.status == WormStatus::Delivered ||
+                  worm.status == WormStatus::Killed);
+      if (worm.status == WormStatus::Killed)
+        ++killed;
+      else if (worm.truncated)
+        ++truncated_arrived;
+      else
+        ++delivered_intact;
+    }
+    EXPECT_EQ(delivered_intact + killed + truncated_arrived, specs.size());
+    EXPECT_EQ(result.metrics.delivered, delivered_intact);
+    EXPECT_EQ(result.metrics.killed, killed);
+    EXPECT_EQ(result.metrics.truncated_arrivals, truncated_arrived);
+    EXPECT_EQ(result.metrics.launched, specs.size());
+  }
+}
+
+TEST_P(SimulatorProperties, Deterministic) {
+  auto [collection, specs] = make_workload(7, 6);
+  Simulator sim(collection, config());
+  const auto a = sim.run(specs);
+  const auto b = sim.run(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(a.worms[i].status, b.worms[i].status);
+    EXPECT_EQ(a.worms[i].finish_time, b.worms[i].finish_time);
+    EXPECT_EQ(a.worms[i].truncated, b.worms[i].truncated);
+  }
+  EXPECT_EQ(a.metrics.makespan, b.metrics.makespan);
+}
+
+TEST_P(SimulatorProperties, MakespanBounded) {
+  auto [collection, specs] = make_workload(11, 10);
+  Simulator sim(collection, config());
+  const auto result = sim.run(specs);
+  // No event can happen after max_start + D + L.
+  const SimTime horizon =
+      10 + collection.dilation() + worm_length();
+  EXPECT_LE(result.metrics.makespan, horizon);
+}
+
+TEST_P(SimulatorProperties, KilledWormsHaveOverlappingWitness) {
+  auto [collection, specs] = make_workload(13, 4);
+  Simulator sim(collection, config());
+  const auto result = sim.run(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (result.worms[i].status != WormStatus::Killed) continue;
+    const WormId blocker = result.worms[i].blocked_by;
+    ASSERT_NE(blocker, kInvalidWorm);
+    ASSERT_LT(blocker, specs.size());
+    EXPECT_NE(blocker, i);
+    // Blocker's path must share the blocking link.
+    const EdgeId blocked_link =
+        collection.path(specs[i].path).link(result.worms[i].blocked_at_link);
+    bool shares = false;
+    for (EdgeId link : collection.path(specs[blocker].path).links())
+      shares |= link == blocked_link;
+    EXPECT_TRUE(shares) << "worm " << i << " blocked by " << blocker;
+    // And on the same wavelength.
+    EXPECT_EQ(specs[i].wavelength, specs[blocker].wavelength);
+  }
+}
+
+TEST_P(SimulatorProperties, OccupancyExclusive) {
+  // Reconstruct per-(link, wavelength) admission windows from the trace;
+  // for non-truncated worms the full [t, t+L-1] windows of distinct worms
+  // must be disjoint.
+  auto [collection, specs] = make_workload(17, 5);
+  Simulator sim(collection, config());
+  const auto result = sim.run(specs);
+
+  std::map<std::pair<EdgeId, Wavelength>,
+           std::vector<std::pair<SimTime, WormId>>>
+      admissions;
+  for (const auto& event : result.trace.events())
+    if (event.kind == TraceKind::Admit)
+      admissions[{event.link, event.wavelength}].emplace_back(event.time,
+                                                              event.worm);
+  for (const auto& [key, list] : admissions) {
+    for (std::size_t a = 0; a < list.size(); ++a) {
+      if (result.worms[list[a].second].truncated) continue;
+      for (std::size_t b = a + 1; b < list.size(); ++b) {
+        if (result.worms[list[b].second].truncated) continue;
+        if (list[a].second == list[b].second) continue;
+        const SimTime lo_a = list[a].first, hi_a = lo_a + worm_length() - 1;
+        const SimTime lo_b = list[b].first, hi_b = lo_b + worm_length() - 1;
+        const bool disjoint = hi_a < lo_b || hi_b < lo_a;
+        EXPECT_TRUE(disjoint)
+            << "overlap on link " << key.first << " between worms "
+            << list[a].second << " and " << list[b].second;
+      }
+    }
+  }
+}
+
+TEST_P(SimulatorProperties, ServeFirstNeverTruncates) {
+  if (std::get<0>(GetParam()) != ContentionRule::ServeFirst) GTEST_SKIP();
+  auto [collection, specs] = make_workload(19, 4);
+  Simulator sim(collection, config());
+  const auto result = sim.run(specs);
+  EXPECT_EQ(result.metrics.truncated, 0u);
+  for (const auto& worm : result.worms) EXPECT_FALSE(worm.truncated);
+}
+
+TEST_P(SimulatorProperties, PriorityTopRankDelivers) {
+  if (std::get<0>(GetParam()) != ContentionRule::Priority) GTEST_SKIP();
+  auto [collection, specs] = make_workload(23, 4);
+  Simulator sim(collection, config());
+  const auto result = sim.run(specs);
+  std::size_t top = 0;
+  for (std::size_t i = 1; i < specs.size(); ++i)
+    if (specs[i].priority > specs[top].priority) top = i;
+  EXPECT_TRUE(result.worms[top].delivered_intact());
+}
+
+TEST_P(SimulatorProperties, WideBandwidthDeliversEverything) {
+  // With more wavelengths than worms per link and distinct wavelengths per
+  // overlapping pair we can't test easily; instead: single worm always
+  // delivers regardless of parameters.
+  auto topo = std::make_shared<MeshTopology>(make_torus({4, 4}));
+  std::shared_ptr<const Graph> graph(topo, &topo->graph);
+  PathCollection collection(graph);
+  collection.add(dimension_order_path(*topo, 0, 15));
+  Simulator sim(collection, config());
+  LaunchSpec spec;
+  spec.path = 0;
+  spec.start_time = 3;
+  spec.wavelength = 0;
+  spec.length = worm_length();
+  spec.priority = 1;
+  const auto result = sim.run(std::vector<LaunchSpec>{spec});
+  EXPECT_TRUE(result.worms[0].delivered_intact());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimulatorProperties,
+    ::testing::Combine(
+        ::testing::Values(ContentionRule::ServeFirst, ContentionRule::Priority),
+        ::testing::Values(TiePolicy::KillAll, TiePolicy::FirstWins),
+        ::testing::Values(1, 2, 4),
+        ::testing::Values(1, 3, 8)),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      // No structured bindings here: commas inside [] would split the
+      // macro arguments.
+      std::string name = std::get<0>(info.param) == ContentionRule::ServeFirst
+                             ? "sf"
+                             : "prio";
+      name += std::get<1>(info.param) == TiePolicy::KillAll ? "_killall"
+                                                            : "_firstwins";
+      name += "_B" + std::to_string(std::get<2>(info.param));
+      name += "_L" + std::to_string(std::get<3>(info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace opto

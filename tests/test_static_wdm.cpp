@@ -1,0 +1,59 @@
+// Static-WDM baseline: collision-free batched routing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opto/core/static_wdm.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/workloads.hpp"
+
+namespace opto {
+namespace {
+
+TEST(StaticWdm, BundleBatches) {
+  const auto collection = make_bundle_collection(1, 8, 10);
+  const auto result = run_static_wdm(collection, /*bandwidth=*/2,
+                                     /*worm_length=*/4);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.colors, 8u);
+  EXPECT_EQ(result.batches, 4u);
+  // Each batch: 2 worms, disjoint wavelengths, makespan = D + L - 2 = 12.
+  EXPECT_EQ(result.total_time, 4 * (12 + 1));
+}
+
+TEST(StaticWdm, SingleBatchWhenBandwidthCovers) {
+  const auto collection = make_bundle_collection(1, 4, 6);
+  const auto result = run_static_wdm(collection, /*bandwidth=*/8,
+                                     /*worm_length=*/2);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.batches, 1u);
+}
+
+TEST(StaticWdm, MeshRandomFunction) {
+  auto topo = std::make_shared<MeshTopology>(make_mesh({6, 6}));
+  Rng rng(5);
+  const auto collection = mesh_random_function(topo, rng);
+  const auto result = run_static_wdm(collection, 2, 4);
+  EXPECT_TRUE(result.success);
+  EXPECT_GE(result.colors, collection.edge_congestion());
+  EXPECT_LE(result.colors, collection.path_congestion() + 1);
+}
+
+TEST(StaticWdm, TrianglesAreTrivialForStaticAssignment) {
+  // The serve-first livelock case is a non-event for RWA: 3 colors, done.
+  const auto collection = make_triangle_collection(10, 10, 4);
+  const auto result = run_static_wdm(collection, 3, 4);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.batches, 1u);
+}
+
+TEST(StaticWdm, WormStepsAccountAllLinks) {
+  const auto collection = make_bundle_collection(2, 3, 5);
+  const auto result = run_static_wdm(collection, 1, 2);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.worm_steps, 6u * 5u);  // every path fully traversed
+}
+
+}  // namespace
+}  // namespace opto

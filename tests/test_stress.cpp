@@ -1,0 +1,121 @@
+// Randomized stress: fuzz the engine against the flit-level reference
+// and the pass validator across random topologies, random launch
+// parameters, and random configs. Runs a small dose by default; set
+// OPTO_STRESS=<n> to multiply the iteration count (soak mode).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "opto/graph/mesh.hpp"
+#include "opto/graph/graph_algo.hpp"
+#include "opto/graph/random_regular.hpp"
+#include "opto/paths/bfs_shortest.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/sim/reference.hpp"
+#include "opto/sim/validate.hpp"
+#include "opto/util/string_util.hpp"
+
+namespace opto {
+namespace {
+
+std::size_t stress_factor() {
+  if (const char* env = std::getenv("OPTO_STRESS"))
+    if (const auto n = parse_int(env); n && *n > 0)
+      return static_cast<std::size_t>(*n);
+  return 1;
+}
+
+/// Random small collection: one of several generators, fuzzed shape.
+PathCollection random_collection(Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: {
+      auto topo = std::make_shared<MeshTopology>(make_torus(
+          {static_cast<std::uint32_t>(3 + rng.next_below(3)),
+           static_cast<std::uint32_t>(3 + rng.next_below(3))}));
+      return mesh_random_function(topo, rng);
+    }
+    case 1: {
+      // Random regular graphs can come out disconnected; redraw until
+      // routable.
+      const auto nodes =
+          static_cast<std::uint32_t>(10 + 2 * rng.next_below(8));
+      auto graph = std::make_shared<Graph>(
+          make_random_regular(nodes, 3, rng.next_u64()));
+      while (!is_connected(*graph))
+        graph = std::make_shared<Graph>(
+            make_random_regular(nodes, 3, rng.next_u64()));
+      return bfs_random_function(graph, rng);
+    }
+    case 2: {
+      StructureBuilder builder;
+      builder.add_staircase(
+          static_cast<std::uint32_t>(2 + rng.next_below(5)),
+          static_cast<std::uint32_t>(8 + rng.next_below(8)), 4);
+      builder.add_triangle(8, 4);
+      return std::move(builder).build();
+    }
+    default:
+      return make_bundle_collection(
+          1, static_cast<std::uint32_t>(2 + rng.next_below(20)),
+          static_cast<std::uint32_t>(3 + rng.next_below(10)));
+  }
+}
+
+TEST(Stress, FuzzDifferentialAndValidators) {
+  const std::size_t iterations = 40 * stress_factor();
+  Rng meta(0xfeedbeef);
+  for (std::size_t iteration = 0; iteration < iterations; ++iteration) {
+    const auto collection = random_collection(meta);
+    if (collection.empty()) continue;
+
+    SimConfig config;
+    config.rule = meta.next_bernoulli(0.5) ? ContentionRule::ServeFirst
+                                           : ContentionRule::Priority;
+    config.tie = meta.next_bernoulli(0.5) ? TiePolicy::KillAll
+                                          : TiePolicy::FirstWins;
+    config.bandwidth = static_cast<std::uint16_t>(1 + meta.next_below(4));
+    config.record_trace = true;
+    if (meta.next_bernoulli(0.3)) config.conversion = ConversionMode::Full;
+
+    const auto length = static_cast<std::uint32_t>(1 + meta.next_below(9));
+    const auto spread = static_cast<SimTime>(1 + meta.next_below(12));
+    std::vector<LaunchSpec> specs(collection.size());
+    const auto ranks = meta.permutation(collection.size());
+    for (PathId id = 0; id < collection.size(); ++id) {
+      specs[id].path = id;
+      specs[id].start_time = static_cast<SimTime>(
+          meta.next_below(static_cast<std::uint64_t>(spread)));
+      specs[id].wavelength =
+          static_cast<Wavelength>(meta.next_below(config.bandwidth));
+      specs[id].priority = ranks[id];
+      specs[id].length = length;
+    }
+
+    Simulator sim(collection, config);
+    const auto fast = sim.run(specs);
+    const auto slow = reference_run(collection, config, specs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_EQ(fast.worms[i].status, slow.worms[i].status)
+          << "iteration " << iteration << " worm " << i;
+      ASSERT_EQ(fast.worms[i].finish_time, slow.worms[i].finish_time)
+          << "iteration " << iteration << " worm " << i;
+    }
+    ASSERT_EQ(fast.metrics.killed, slow.metrics.killed)
+        << "iteration " << iteration;
+    ASSERT_EQ(fast.metrics.delivered, slow.metrics.delivered)
+        << "iteration " << iteration;
+
+    const auto pass = validate_pass(collection, config, specs, fast);
+    ASSERT_TRUE(pass.ok()) << "iteration " << iteration << ": "
+                           << pass.violations.front();
+    const auto occupancy = validate_occupancy(collection, specs, fast);
+    ASSERT_TRUE(occupancy.ok()) << "iteration " << iteration << ": "
+                                << occupancy.violations.front();
+  }
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,44 @@
+// Logging and timing utilities.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "opto/util/logging.hpp"
+#include "opto/util/timer.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Logging, LevelGate) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // Below-threshold messages are discarded without side effects.
+  OPTO_LOG_DEBUG << "discarded";
+  OPTO_LOG_INFO << "discarded " << 42;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(saved);
+}
+
+TEST(Logging, StreamingFormats) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Off);
+  // Streaming arbitrary types must compile and not crash even when off.
+  OPTO_LOG_ERROR << "x=" << 1.5 << " y=" << std::string("s") << " z=" << -3;
+  set_log_level(saved);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  const double first = timer.elapsed_ms();
+  EXPECT_GE(first, 10.0);
+  EXPECT_LT(first, 2000.0);
+  timer.reset();
+  EXPECT_LT(timer.elapsed_ms(), first);
+  EXPECT_GE(timer.elapsed_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opto/util/stats.hpp"
+
+namespace opto {
+namespace {
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a, b, whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet set;
+  for (int i = 10; i >= 1; --i) set.add(i);
+  EXPECT_DOUBLE_EQ(set.min(), 1.0);
+  EXPECT_DOUBLE_EQ(set.max(), 10.0);
+  EXPECT_DOUBLE_EQ(set.median(), 5.5);
+  EXPECT_DOUBLE_EQ(set.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(set.mean(), 5.5);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet set;
+  set.add(0.0);
+  set.add(10.0);
+  EXPECT_DOUBLE_EQ(set.quantile(0.25), 2.5);
+}
+
+TEST(SampleSet, MergeKeepsAll) {
+  SampleSet a, b;
+  a.add(1.0);
+  b.add(2.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(SampleSet, StddevMatchesFormula) {
+  SampleSet set;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) set.add(x);
+  EXPECT_NEAR(set.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);
+  hist.add(9.9);
+  hist.add(-3.0);  // clamps into first bucket
+  hist.add(42.0);  // clamps into last bucket
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.bucket(0), 2u);
+  EXPECT_EQ(hist.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(hist.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bucket_hi(1), 4.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_EQ(fit_linear({}, {}).slope, 0.0);
+  EXPECT_EQ(fit_linear({1.0}, {2.0}).slope, 0.0);
+  // Vertical data (all x equal) cannot be fit.
+  EXPECT_EQ(fit_linear({2.0, 2.0}, {1.0, 5.0}).slope, 0.0);
+}
+
+}  // namespace
+}  // namespace opto

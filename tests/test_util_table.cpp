@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "opto/util/table.hpp"
+
+namespace opto {
+namespace {
+
+TEST(Table, PrintsAlignedRows) {
+  Table table("demo");
+  table.set_header({"name", "value"});
+  table.row().cell("alpha").cell(42LL);
+  table.row().cell("b").cell(3.5);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 42"), std::string::npos);
+  EXPECT_NE(out.find("3.5"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table table("csv");
+  table.set_header({"a", "b"});
+  table.add_row({"x,y", "say \"hi\""});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, FormatNumberTrimsNoise) {
+  EXPECT_EQ(Table::format_number(42.0), "42");
+  EXPECT_EQ(Table::format_number(0.125), "0.125");
+  EXPECT_EQ(Table::format_number(1234567.0), "1.23457e+06");
+}
+
+TEST(Table, RowBuilderMixedTypes) {
+  Table table("mixed");
+  table.set_header({"i", "u", "d", "s"});
+  table.row().cell(-3).cell(std::size_t{7}).cell(2.5).cell("txt");
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "i,u,d,s\n-3,7,2.5,txt\n");
+}
+
+TEST(TableDeath, MismatchedRowWidth) {
+  Table table("bad");
+  table.set_header({"one"});
+  EXPECT_DEATH(table.add_row({"a", "b"}), "row width");
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,140 @@
+// The public pass validator: green on real engine output across the
+// parameter space, red on corrupted results.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/sim/validate.hpp"
+
+namespace opto {
+namespace {
+
+using Params = std::tuple<ContentionRule, TiePolicy, int, int>;
+
+class ValidateSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  SimConfig config() const {
+    SimConfig cfg;
+    cfg.rule = std::get<0>(GetParam());
+    cfg.tie = std::get<1>(GetParam());
+    cfg.bandwidth = static_cast<std::uint16_t>(std::get<2>(GetParam()));
+    cfg.record_trace = true;
+    return cfg;
+  }
+  std::uint32_t length() const {
+    return static_cast<std::uint32_t>(std::get<3>(GetParam()));
+  }
+};
+
+TEST_P(ValidateSweep, EngineOutputAlwaysValidates) {
+  auto topo = std::make_shared<MeshTopology>(make_torus({4, 4}));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const auto collection = mesh_random_function(topo, rng);
+    std::vector<LaunchSpec> specs(collection.size());
+    const auto ranks = rng.permutation(collection.size());
+    for (PathId id = 0; id < collection.size(); ++id) {
+      specs[id].path = id;
+      specs[id].start_time = static_cast<SimTime>(rng.next_below(6));
+      specs[id].wavelength =
+          static_cast<Wavelength>(rng.next_below(config().bandwidth));
+      specs[id].priority = ranks[id];
+      specs[id].length = length();
+    }
+    Simulator sim(collection, config());
+    const auto result = sim.run(specs);
+
+    const auto pass_report =
+        validate_pass(collection, config(), specs, result);
+    EXPECT_TRUE(pass_report.ok())
+        << "seed " << seed << ": " << pass_report.violations.front();
+    const auto occupancy_report =
+        validate_occupancy(collection, specs, result);
+    EXPECT_TRUE(occupancy_report.ok())
+        << "seed " << seed << ": " << occupancy_report.violations.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ValidateSweep,
+    ::testing::Combine(
+        ::testing::Values(ContentionRule::ServeFirst, ContentionRule::Priority),
+        ::testing::Values(TiePolicy::KillAll, TiePolicy::FirstWins),
+        ::testing::Values(1, 3),
+        ::testing::Values(2, 6)),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      std::string name = std::get<0>(info.param) == ContentionRule::ServeFirst
+                             ? "sf"
+                             : "prio";
+      name += std::get<1>(info.param) == TiePolicy::KillAll ? "_killall"
+                                                            : "_firstwins";
+      name += "_B" + std::to_string(std::get<2>(info.param));
+      name += "_L" + std::to_string(std::get<3>(info.param));
+      return name;
+    });
+
+TEST(Validate, CatchesCorruptedStatus) {
+  const auto collection = make_bundle_collection(1, 2, 4);
+  SimConfig config;
+  Simulator sim(collection, config);
+  std::vector<LaunchSpec> specs(2);
+  for (PathId id = 0; id < 2; ++id) {
+    specs[id].path = id;
+    specs[id].start_time = static_cast<SimTime>(3 * id);
+    specs[id].wavelength = 0;
+    specs[id].length = 3;
+  }
+  auto result = sim.run(specs);
+  ASSERT_TRUE(validate_pass(collection, config, specs, result).ok());
+
+  auto corrupted = result;
+  corrupted.worms[0].finish_time += 1;
+  EXPECT_FALSE(validate_pass(collection, config, specs, corrupted).ok());
+
+  corrupted = result;
+  corrupted.metrics.delivered += 1;
+  EXPECT_FALSE(validate_pass(collection, config, specs, corrupted).ok());
+}
+
+TEST(Validate, CatchesBogusWitness) {
+  const auto collection = make_bundle_collection(2, 2, 5);  // 2 structures
+  SimConfig config;
+  Simulator sim(collection, config);
+  // Worms 0,1 on structure A (collide); worms 2,3 on structure B (free).
+  std::vector<LaunchSpec> specs(4);
+  for (PathId id = 0; id < 4; ++id) {
+    specs[id].path = id;
+    specs[id].start_time = id == 1 ? 1 : 0;
+    specs[id].wavelength = 0;
+    specs[id].length = 4;
+  }
+  auto result = sim.run(specs);
+  ASSERT_EQ(result.worms[1].status, WormStatus::Killed);
+  ASSERT_TRUE(validate_pass(collection, config, specs, result).ok());
+
+  // Point worm 1's witness at a worm on the other structure.
+  result.worms[1].blocked_by = 2;
+  const auto report = validate_pass(collection, config, specs, result);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations.front().find("witness"), std::string::npos);
+}
+
+TEST(Validate, OccupancyNeedsTrace) {
+  const auto collection = make_bundle_collection(1, 1, 3);
+  SimConfig config;  // record_trace = false
+  Simulator sim(collection, config);
+  std::vector<LaunchSpec> specs(1);
+  specs[0].path = 0;
+  specs[0].length = 2;
+  const auto result = sim.run(specs);
+  const auto report = validate_occupancy(collection, specs, result);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace opto

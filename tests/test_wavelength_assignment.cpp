@@ -1,0 +1,80 @@
+// Static RWA coloring: validity, bounds, and classic shapes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opto/graph/butterfly.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/wavelength_assignment.hpp"
+#include "opto/paths/workloads.hpp"
+
+namespace opto {
+namespace {
+
+TEST(WavelengthAssignment, BundleNeedsWidthColors) {
+  const auto collection = make_bundle_collection(1, 7, 5);
+  for (const ColoringOrder order :
+       {ColoringOrder::ByIndex, ColoringOrder::ByDegreeDesc}) {
+    const auto assignment = assign_wavelengths(collection, order);
+    EXPECT_EQ(assignment.colors_used, 7u);  // a clique needs width colors
+    EXPECT_TRUE(is_valid_assignment(collection, assignment));
+  }
+}
+
+TEST(WavelengthAssignment, DisjointPathsShareColorZero) {
+  const auto collection = make_bundle_collection(5, 1, 4);  // 5 lone paths
+  const auto assignment =
+      assign_wavelengths(collection, ColoringOrder::ByIndex);
+  EXPECT_EQ(assignment.colors_used, 1u);
+  for (const std::uint32_t c : assignment.color) EXPECT_EQ(c, 0u);
+}
+
+TEST(WavelengthAssignment, StaircaseIsTwoColorable) {
+  // The staircase conflict graph is a path: chromatic number 2.
+  const auto collection = make_staircase_collection(1, 6, 12, 4);
+  const auto assignment =
+      assign_wavelengths(collection, ColoringOrder::ByIndex);
+  EXPECT_EQ(assignment.colors_used, 2u);
+  EXPECT_TRUE(is_valid_assignment(collection, assignment));
+}
+
+TEST(WavelengthAssignment, TriangleNeedsThree) {
+  // The triangle conflict graph is K3.
+  const auto collection = make_triangle_collection(1, 8, 4);
+  const auto assignment =
+      assign_wavelengths(collection, ColoringOrder::ByDegreeDesc);
+  EXPECT_EQ(assignment.colors_used, 3u);
+}
+
+TEST(WavelengthAssignment, AtMostCongestionPlusOneColors) {
+  auto topo = std::make_shared<ButterflyTopology>(make_butterfly(5));
+  Rng rng(3);
+  const auto collection = butterfly_random_q_function(topo, 3, rng);
+  const std::uint32_t congestion = collection.path_congestion();
+  for (const ColoringOrder order :
+       {ColoringOrder::ByIndex, ColoringOrder::ByDegreeDesc}) {
+    const auto assignment = assign_wavelengths(collection, order);
+    EXPECT_LE(assignment.colors_used, congestion + 1);
+    EXPECT_TRUE(is_valid_assignment(collection, assignment));
+  }
+}
+
+TEST(WavelengthAssignment, ValidityCheckerCatchesConflicts) {
+  const auto collection = make_bundle_collection(1, 3, 4);
+  WavelengthAssignment bad;
+  bad.color = {0, 0, 1};  // two copies share color 0
+  bad.colors_used = 2;
+  EXPECT_FALSE(is_valid_assignment(collection, bad));
+}
+
+TEST(WavelengthAssignment, EmptyCollection) {
+  const auto collection = make_bundle_collection(0, 1, 1);
+  const auto assignment =
+      assign_wavelengths(collection, ColoringOrder::ByIndex);
+  EXPECT_EQ(assignment.colors_used, 0u);
+  EXPECT_TRUE(is_valid_assignment(collection, assignment));
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,152 @@
+// Empirical witness trees (Definition 2.1–2.3, Lemma 2.2) reconstructed
+// from real protocol runs.
+#include <gtest/gtest.h>
+
+#include "opto/analysis/witness_builder.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+
+namespace opto {
+namespace {
+
+ProtocolConfig recording_config(std::uint32_t L, std::uint32_t max_rounds) {
+  ProtocolConfig config;
+  config.worm_length = L;
+  config.max_rounds = max_rounds;
+  config.keep_round_outcomes = true;
+  return config;
+}
+
+TEST(WitnessBuilder, TriangleLivelockTree) {
+  // Deterministic: the triangle under no-delay serve-first fails forever;
+  // each worm's witness at every round is the next worm in the cycle.
+  const std::uint32_t L = 4;
+  const auto collection = make_triangle_collection(1, 10, L);
+  const auto config = recording_config(L, 6);
+  NoDelaySchedule schedule;
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(3);
+  ASSERT_FALSE(result.success);
+
+  const auto tree = build_witness_tree(result, 0, 6);
+  EXPECT_EQ(tree.root, 0u);
+  EXPECT_EQ(tree.depth, 6u);
+  EXPECT_TRUE(is_valid_witness_tree(tree));
+  // All three worms appear by level 2 and the set saturates.
+  const auto sizes = tree.level_sizes();
+  ASSERT_EQ(sizes.size(), 7u);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 3u);
+  EXPECT_EQ(sizes[6], 3u);
+  EXPECT_EQ(tree.total_distinct_worms(), 3u);
+}
+
+TEST(WitnessBuilder, NewWormCountsSumToK) {
+  const std::uint32_t L = 4;
+  const auto collection = make_triangle_collection(2, 10, L);
+  const auto config = recording_config(L, 4);
+  NoDelaySchedule schedule;
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(5);
+  ASSERT_FALSE(result.success);
+
+  const auto tree = build_witness_tree(result, 3, 4);
+  const auto fresh = tree.new_worm_counts();
+  std::uint32_t total = 0;
+  for (const std::uint32_t f : fresh) total += f;
+  EXPECT_EQ(total, tree.total_distinct_worms());
+  // Structures are disjoint: worms of the other triangle never appear.
+  EXPECT_LE(tree.total_distinct_worms(), 3u);
+}
+
+TEST(WitnessBuilder, BundleThrashTreeIsValid) {
+  // Randomized bundle congestion: whatever the collision pattern, the
+  // reconstructed tree must satisfy Definition 2.1.
+  const std::uint32_t L = 6;
+  const auto collection = make_bundle_collection(1, 24, 8);
+  auto config = recording_config(L, 50);
+  FixedSchedule schedule(4);  // tight range keeps worms failing a while
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(21);
+
+  // Find a worm that survived at least 3 rounds.
+  PathId victim = kInvalidPath;
+  std::uint32_t depth = 0;
+  for (PathId id = 0; id < collection.size(); ++id) {
+    const std::uint32_t done = result.completion_round[id];
+    const std::uint32_t lasted =
+        done == 0 ? result.rounds_used : done - 1;
+    if (lasted >= 3 && lasted > depth) {
+      victim = id;
+      depth = std::min(lasted, 6u);
+    }
+  }
+  ASSERT_NE(victim, kInvalidPath) << "no worm failed 3+ rounds; tighten Δ";
+  const auto tree = build_witness_tree(result, victim, depth);
+  EXPECT_TRUE(is_valid_witness_tree(tree));
+  EXPECT_LE(tree.total_distinct_worms(), collection.size());
+  // Level sizes never shrink.
+  const auto sizes = tree.level_sizes();
+  for (std::size_t i = 1; i < sizes.size(); ++i)
+    EXPECT_GE(sizes[i], sizes[i - 1]);
+}
+
+TEST(WitnessBuilder, ValidityCatchesCorruption) {
+  WitnessTree tree;
+  tree.root = 0;
+  tree.depth = 1;
+  tree.levels.resize(2);
+  tree.levels[0].worms = {0};
+  tree.levels[1].worms = {0, 1};
+  tree.levels[1].collisions = {{0, 1}};
+  EXPECT_TRUE(is_valid_witness_tree(tree));
+
+  auto self_witness = tree;
+  self_witness.levels[1].collisions = {{0, 0}};
+  EXPECT_FALSE(is_valid_witness_tree(self_witness));
+
+  auto missing_witness = tree;
+  missing_witness.levels[1].collisions.clear();
+  EXPECT_FALSE(is_valid_witness_tree(missing_witness));
+
+  auto double_witness = tree;
+  double_witness.levels[1].worms = {0, 1, 2};
+  double_witness.levels[1].collisions = {{0, 1}, {0, 2}};
+  EXPECT_FALSE(is_valid_witness_tree(double_witness));
+}
+
+TEST(WitnessBuilder, DotRenderingContainsLevelsAndEdges) {
+  const auto collection = make_triangle_collection(1, 10, 4);
+  const auto config = recording_config(4, 3);
+  NoDelaySchedule schedule;
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(2);
+  const auto tree = build_witness_tree(result, 1, 3);
+  const std::string dot = witness_tree_to_dot(tree);
+  EXPECT_NE(dot.find("digraph witness"), std::string::npos);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+  // One collision edge per old worm per level: 1 + 2 + 3 = 6 solid edges.
+  std::size_t solid = 0, pos = 0;
+  while ((pos = dot.find("#ee6677", pos)) != std::string::npos) {
+    ++solid;
+    ++pos;
+  }
+  EXPECT_EQ(solid, 6u);
+  // Level-qualified node ids keep repeated worms distinct.
+  EXPECT_NE(dot.find("\"L0w1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"L3w"), std::string::npos);
+}
+
+TEST(WitnessBuilderDeath, RequiresRecordedRounds) {
+  const auto collection = make_triangle_collection(1, 10, 4);
+  ProtocolConfig config;
+  config.worm_length = 4;
+  config.max_rounds = 3;
+  NoDelaySchedule schedule;
+  TrialAndFailure protocol(collection, config, schedule);
+  const auto result = protocol.run(3);
+  EXPECT_DEATH(build_witness_tree(result, 0, 2), "keep_round_outcomes");
+}
+
+}  // namespace
+}  // namespace opto

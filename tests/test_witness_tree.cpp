@@ -1,0 +1,81 @@
+// Witness-tree probability evaluators: monotonicity and limiting shapes
+// matching the §2.1 / §3.1 formulas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opto/analysis/witness_tree.hpp"
+
+namespace opto {
+namespace {
+
+WitnessTreeParams params(std::uint32_t n, std::uint32_t D, std::uint32_t C,
+                         std::uint32_t L, std::uint16_t B, SimTime delta) {
+  WitnessTreeParams p;
+  p.shape.size = n;
+  p.shape.dilation = D;
+  p.shape.path_congestion = C;
+  p.shape.worm_length = L;
+  p.shape.bandwidth = B;
+  p.delta = [delta](std::uint32_t) { return delta; };
+  return p;
+}
+
+TEST(WitnessTree, BoundIsAtMostOne) {
+  const auto p = params(1024, 16, 64, 4, 1, 64);
+  EXPECT_LE(log2_embedding_bound_leveled(p, 3, 4), 0.0);
+  EXPECT_LE(log2_embedding_bound_shortcut_free(p, 3, 4), 0.0);
+}
+
+TEST(WitnessTree, LargerDeltaShrinksBound) {
+  const auto small = params(1024, 16, 64, 4, 1, 64);
+  const auto large = params(1024, 16, 64, 4, 1, 4096);
+  EXPECT_LE(log2_embedding_bound_leveled(large, 4, 8),
+            log2_embedding_bound_leveled(small, 4, 8));
+  EXPECT_LE(log2_embedding_bound_shortcut_free(large, 4, 8),
+            log2_embedding_bound_shortcut_free(small, 4, 8));
+}
+
+TEST(WitnessTree, DeeperTreesAreLessLikely) {
+  // With Δ big enough that each level multiplies probability < 1, deeper
+  // witness trees must be rarer.
+  const auto p = params(1 << 16, 8, 128, 4, 1, 1 << 14);
+  EXPECT_LT(log2_embedding_bound_leveled(p, 8, 4),
+            log2_embedding_bound_leveled(p, 4, 4));
+  EXPECT_LT(log2_embedding_bound_shortcut_free(p, 8, 4),
+            log2_embedding_bound_shortcut_free(p, 4, 4));
+}
+
+TEST(WitnessTree, K0MatchesFormula) {
+  ProblemShape s;
+  s.size = 1 << 10;
+  s.dilation = 12;
+  s.path_congestion = 48;
+  s.worm_length = 4;
+  s.bandwidth = 2;
+  const double expected =
+      3.0 * 10.0 / std::log2(2.0 + 2.0 * (12.0 / 4.0 + 1.0) / (16.0 * 48.0)) +
+      1.0;
+  EXPECT_NEAR(witness_k0(s, 1.0), expected, 1e-9);
+}
+
+TEST(WitnessTree, FailureProbabilityDecreasesWithRounds) {
+  const auto p = params(1 << 12, 8, 256, 4, 1, 1 << 13);
+  const double few = failure_probability_bound(p, 4, /*leveled=*/true);
+  const double many = failure_probability_bound(p, 12, /*leveled=*/true);
+  EXPECT_LE(many, few);
+  EXPECT_GE(few, 0.0);
+  EXPECT_LE(few, 1.0);
+}
+
+TEST(WitnessTree, ShortcutFreeNeedsMoreRounds) {
+  // At equal (t, k) the short-cut-free bound decays only linearly in t
+  // while the leveled bound decays quadratically.
+  const auto p = params(1 << 16, 8, 128, 4, 1, 1 << 12);
+  const double lev8 = log2_embedding_bound_leveled(p, 8, 2);
+  const double scf8 = log2_embedding_bound_shortcut_free(p, 8, 2);
+  EXPECT_LT(lev8, scf8);
+}
+
+}  // namespace
+}  // namespace opto
