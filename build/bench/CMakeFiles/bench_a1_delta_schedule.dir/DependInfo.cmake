@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a1_delta_schedule.cpp" "bench/CMakeFiles/bench_a1_delta_schedule.dir/bench_a1_delta_schedule.cpp.o" "gcc" "bench/CMakeFiles/bench_a1_delta_schedule.dir/bench_a1_delta_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/opto_benchsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

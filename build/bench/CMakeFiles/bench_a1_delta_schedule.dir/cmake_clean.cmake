@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_delta_schedule.dir/bench_a1_delta_schedule.cpp.o"
+  "CMakeFiles/bench_a1_delta_schedule.dir/bench_a1_delta_schedule.cpp.o.d"
+  "bench_a1_delta_schedule"
+  "bench_a1_delta_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_delta_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

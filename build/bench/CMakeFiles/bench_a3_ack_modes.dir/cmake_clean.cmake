@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_ack_modes.dir/bench_a3_ack_modes.cpp.o"
+  "CMakeFiles/bench_a3_ack_modes.dir/bench_a3_ack_modes.cpp.o.d"
+  "bench_a3_ack_modes"
+  "bench_a3_ack_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_ack_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_bandwidth.dir/bench_a4_bandwidth.cpp.o"
+  "CMakeFiles/bench_a4_bandwidth.dir/bench_a4_bandwidth.cpp.o.d"
+  "bench_a4_bandwidth"
+  "bench_a4_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_tie_policy.dir/bench_a5_tie_policy.cpp.o"
+  "CMakeFiles/bench_a5_tie_policy.dir/bench_a5_tie_policy.cpp.o.d"
+  "bench_a5_tie_policy"
+  "bench_a5_tie_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_tie_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

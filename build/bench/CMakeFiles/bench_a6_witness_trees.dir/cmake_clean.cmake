@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_witness_trees.dir/bench_a6_witness_trees.cpp.o"
+  "CMakeFiles/bench_a6_witness_trees.dir/bench_a6_witness_trees.cpp.o.d"
+  "bench_a6_witness_trees"
+  "bench_a6_witness_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_witness_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

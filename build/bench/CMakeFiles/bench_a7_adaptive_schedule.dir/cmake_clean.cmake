@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_adaptive_schedule.dir/bench_a7_adaptive_schedule.cpp.o"
+  "CMakeFiles/bench_a7_adaptive_schedule.dir/bench_a7_adaptive_schedule.cpp.o.d"
+  "bench_a7_adaptive_schedule"
+  "bench_a7_adaptive_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_adaptive_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

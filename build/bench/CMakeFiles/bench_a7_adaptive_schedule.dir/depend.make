@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a7_adaptive_schedule.
+# This may be replaced when dependencies are built.

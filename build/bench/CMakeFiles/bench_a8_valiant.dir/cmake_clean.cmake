@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_valiant.dir/bench_a8_valiant.cpp.o"
+  "CMakeFiles/bench_a8_valiant.dir/bench_a8_valiant.cpp.o.d"
+  "bench_a8_valiant"
+  "bench_a8_valiant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_valiant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

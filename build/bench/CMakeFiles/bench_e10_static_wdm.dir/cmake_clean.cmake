@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_static_wdm.dir/bench_e10_static_wdm.cpp.o"
+  "CMakeFiles/bench_e10_static_wdm.dir/bench_e10_static_wdm.cpp.o.d"
+  "bench_e10_static_wdm"
+  "bench_e10_static_wdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_static_wdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

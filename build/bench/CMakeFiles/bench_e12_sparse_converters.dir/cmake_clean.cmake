@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_sparse_converters.dir/bench_e12_sparse_converters.cpp.o"
+  "CMakeFiles/bench_e12_sparse_converters.dir/bench_e12_sparse_converters.cpp.o.d"
+  "bench_e12_sparse_converters"
+  "bench_e12_sparse_converters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_sparse_converters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_dynamic_blocking.dir/bench_e14_dynamic_blocking.cpp.o"
+  "CMakeFiles/bench_e14_dynamic_blocking.dir/bench_e14_dynamic_blocking.cpp.o.d"
+  "bench_e14_dynamic_blocking"
+  "bench_e14_dynamic_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_dynamic_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_lower_staircase.dir/bench_e2_lower_staircase.cpp.o"
+  "CMakeFiles/bench_e2_lower_staircase.dir/bench_e2_lower_staircase.cpp.o.d"
+  "bench_e2_lower_staircase"
+  "bench_e2_lower_staircase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_lower_staircase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_triangle_lower.dir/bench_e4_triangle_lower.cpp.o"
+  "CMakeFiles/bench_e4_triangle_lower.dir/bench_e4_triangle_lower.cpp.o.d"
+  "bench_e4_triangle_lower"
+  "bench_e4_triangle_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_triangle_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_priority_cycles.dir/bench_e5_priority_cycles.cpp.o"
+  "CMakeFiles/bench_e5_priority_cycles.dir/bench_e5_priority_cycles.cpp.o.d"
+  "bench_e5_priority_cycles"
+  "bench_e5_priority_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_priority_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

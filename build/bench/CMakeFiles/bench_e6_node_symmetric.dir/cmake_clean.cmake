@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_node_symmetric.dir/bench_e6_node_symmetric.cpp.o"
+  "CMakeFiles/bench_e6_node_symmetric.dir/bench_e6_node_symmetric.cpp.o.d"
+  "bench_e6_node_symmetric"
+  "bench_e6_node_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_node_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

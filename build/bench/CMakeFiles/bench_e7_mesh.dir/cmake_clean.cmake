@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_mesh.dir/bench_e7_mesh.cpp.o"
+  "CMakeFiles/bench_e7_mesh.dir/bench_e7_mesh.cpp.o.d"
+  "bench_e7_mesh"
+  "bench_e7_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_butterfly_qfn.dir/bench_e8_butterfly_qfn.cpp.o"
+  "CMakeFiles/bench_e8_butterfly_qfn.dir/bench_e8_butterfly_qfn.cpp.o.d"
+  "bench_e8_butterfly_qfn"
+  "bench_e8_butterfly_qfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_butterfly_qfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

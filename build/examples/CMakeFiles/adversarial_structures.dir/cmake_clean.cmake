@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_structures.dir/adversarial_structures.cpp.o"
+  "CMakeFiles/adversarial_structures.dir/adversarial_structures.cpp.o.d"
+  "adversarial_structures"
+  "adversarial_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

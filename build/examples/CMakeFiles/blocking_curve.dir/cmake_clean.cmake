@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_curve.dir/blocking_curve.cpp.o"
+  "CMakeFiles/blocking_curve.dir/blocking_curve.cpp.o.d"
+  "blocking_curve"
+  "blocking_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

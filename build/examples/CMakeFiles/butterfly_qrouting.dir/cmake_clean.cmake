@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_qrouting.dir/butterfly_qrouting.cpp.o"
+  "CMakeFiles/butterfly_qrouting.dir/butterfly_qrouting.cpp.o.d"
+  "butterfly_qrouting"
+  "butterfly_qrouting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_qrouting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoroute_cli.dir/optoroute_cli.cpp.o"
+  "CMakeFiles/optoroute_cli.dir/optoroute_cli.cpp.o.d"
+  "optoroute_cli"
+  "optoroute_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoroute_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_inspector.dir/router_inspector.cpp.o"
+  "CMakeFiles/router_inspector.dir/router_inspector.cpp.o.d"
+  "router_inspector"
+  "router_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

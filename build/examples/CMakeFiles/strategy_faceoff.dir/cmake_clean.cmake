@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_faceoff.dir/strategy_faceoff.cpp.o"
+  "CMakeFiles/strategy_faceoff.dir/strategy_faceoff.cpp.o.d"
+  "strategy_faceoff"
+  "strategy_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

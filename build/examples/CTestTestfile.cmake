@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--side" "4" "--length" "2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mesh_routing "/root/repo/build/examples/mesh_routing" "--side" "4" "--trials" "2")
+set_tests_properties(example_mesh_routing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_butterfly_qrouting "/root/repo/build/examples/butterfly_qrouting" "--dim" "4" "--trials" "2")
+set_tests_properties(example_butterfly_qrouting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adversarial_structures "/root/repo/build/examples/adversarial_structures" "--length" "4")
+set_tests_properties(example_adversarial_structures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_router_inspector "/root/repo/build/examples/router_inspector")
+set_tests_properties(example_router_inspector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_strategy_faceoff "/root/repo/build/examples/strategy_faceoff" "--side" "4" "--length" "4")
+set_tests_properties(example_strategy_faceoff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_optoroute_cli "/root/repo/build/examples/optoroute_cli" "--topology" "ring" "--size" "8" "--trials" "2")
+set_tests_properties(example_optoroute_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gallery "/root/repo/build/examples/gallery" "--out" "/root/repo/build/examples/gallery_smoke")
+set_tests_properties(example_gallery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_blocking_curve "/root/repo/build/examples/blocking_curve" "--size" "8" "--points" "2" "--arrivals" "3000")
+set_tests_properties(example_blocking_curve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_layout_explorer "/root/repo/build/examples/layout_explorer" "--family" "mesh" "--size" "5" "--dst" "20")
+set_tests_properties(example_layout_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opto/analysis/blame_graph.cpp" "src/CMakeFiles/opto_analysis.dir/opto/analysis/blame_graph.cpp.o" "gcc" "src/CMakeFiles/opto_analysis.dir/opto/analysis/blame_graph.cpp.o.d"
+  "/root/repo/src/opto/analysis/bounds.cpp" "src/CMakeFiles/opto_analysis.dir/opto/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/opto_analysis.dir/opto/analysis/bounds.cpp.o.d"
+  "/root/repo/src/opto/analysis/congestion_theory.cpp" "src/CMakeFiles/opto_analysis.dir/opto/analysis/congestion_theory.cpp.o" "gcc" "src/CMakeFiles/opto_analysis.dir/opto/analysis/congestion_theory.cpp.o.d"
+  "/root/repo/src/opto/analysis/witness_builder.cpp" "src/CMakeFiles/opto_analysis.dir/opto/analysis/witness_builder.cpp.o" "gcc" "src/CMakeFiles/opto_analysis.dir/opto/analysis/witness_builder.cpp.o.d"
+  "/root/repo/src/opto/analysis/witness_tree.cpp" "src/CMakeFiles/opto_analysis.dir/opto/analysis/witness_tree.cpp.o" "gcc" "src/CMakeFiles/opto_analysis.dir/opto/analysis/witness_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/opto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_analysis.dir/opto/analysis/blame_graph.cpp.o"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/blame_graph.cpp.o.d"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/bounds.cpp.o"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/bounds.cpp.o.d"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/congestion_theory.cpp.o"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/congestion_theory.cpp.o.d"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/witness_builder.cpp.o"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/witness_builder.cpp.o.d"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/witness_tree.cpp.o"
+  "CMakeFiles/opto_analysis.dir/opto/analysis/witness_tree.cpp.o.d"
+  "libopto_analysis.a"
+  "libopto_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopto_analysis.a"
+)

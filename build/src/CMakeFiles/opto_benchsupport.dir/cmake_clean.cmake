@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_benchsupport.dir/opto/benchsupport/experiment.cpp.o"
+  "CMakeFiles/opto_benchsupport.dir/opto/benchsupport/experiment.cpp.o.d"
+  "libopto_benchsupport.a"
+  "libopto_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

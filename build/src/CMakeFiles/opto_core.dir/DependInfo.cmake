@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opto/core/dynamic_traffic.cpp" "src/CMakeFiles/opto_core.dir/opto/core/dynamic_traffic.cpp.o" "gcc" "src/CMakeFiles/opto_core.dir/opto/core/dynamic_traffic.cpp.o.d"
+  "/root/repo/src/opto/core/multi_hop.cpp" "src/CMakeFiles/opto_core.dir/opto/core/multi_hop.cpp.o" "gcc" "src/CMakeFiles/opto_core.dir/opto/core/multi_hop.cpp.o.d"
+  "/root/repo/src/opto/core/priority_assign.cpp" "src/CMakeFiles/opto_core.dir/opto/core/priority_assign.cpp.o" "gcc" "src/CMakeFiles/opto_core.dir/opto/core/priority_assign.cpp.o.d"
+  "/root/repo/src/opto/core/result_json.cpp" "src/CMakeFiles/opto_core.dir/opto/core/result_json.cpp.o" "gcc" "src/CMakeFiles/opto_core.dir/opto/core/result_json.cpp.o.d"
+  "/root/repo/src/opto/core/schedule.cpp" "src/CMakeFiles/opto_core.dir/opto/core/schedule.cpp.o" "gcc" "src/CMakeFiles/opto_core.dir/opto/core/schedule.cpp.o.d"
+  "/root/repo/src/opto/core/static_wdm.cpp" "src/CMakeFiles/opto_core.dir/opto/core/static_wdm.cpp.o" "gcc" "src/CMakeFiles/opto_core.dir/opto/core/static_wdm.cpp.o.d"
+  "/root/repo/src/opto/core/trial_and_failure.cpp" "src/CMakeFiles/opto_core.dir/opto/core/trial_and_failure.cpp.o" "gcc" "src/CMakeFiles/opto_core.dir/opto/core/trial_and_failure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/opto_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

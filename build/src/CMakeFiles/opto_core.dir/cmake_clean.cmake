@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_core.dir/opto/core/dynamic_traffic.cpp.o"
+  "CMakeFiles/opto_core.dir/opto/core/dynamic_traffic.cpp.o.d"
+  "CMakeFiles/opto_core.dir/opto/core/multi_hop.cpp.o"
+  "CMakeFiles/opto_core.dir/opto/core/multi_hop.cpp.o.d"
+  "CMakeFiles/opto_core.dir/opto/core/priority_assign.cpp.o"
+  "CMakeFiles/opto_core.dir/opto/core/priority_assign.cpp.o.d"
+  "CMakeFiles/opto_core.dir/opto/core/result_json.cpp.o"
+  "CMakeFiles/opto_core.dir/opto/core/result_json.cpp.o.d"
+  "CMakeFiles/opto_core.dir/opto/core/schedule.cpp.o"
+  "CMakeFiles/opto_core.dir/opto/core/schedule.cpp.o.d"
+  "CMakeFiles/opto_core.dir/opto/core/static_wdm.cpp.o"
+  "CMakeFiles/opto_core.dir/opto/core/static_wdm.cpp.o.d"
+  "CMakeFiles/opto_core.dir/opto/core/trial_and_failure.cpp.o"
+  "CMakeFiles/opto_core.dir/opto/core/trial_and_failure.cpp.o.d"
+  "libopto_core.a"
+  "libopto_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

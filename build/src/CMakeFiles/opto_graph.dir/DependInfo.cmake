@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opto/graph/butterfly.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/butterfly.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/butterfly.cpp.o.d"
+  "/root/repo/src/opto/graph/complete.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/complete.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/complete.cpp.o.d"
+  "/root/repo/src/opto/graph/debruijn.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/debruijn.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/debruijn.cpp.o.d"
+  "/root/repo/src/opto/graph/expander.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/expander.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/expander.cpp.o.d"
+  "/root/repo/src/opto/graph/graph.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/graph.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/graph.cpp.o.d"
+  "/root/repo/src/opto/graph/graph_algo.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/graph_algo.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/graph_algo.cpp.o.d"
+  "/root/repo/src/opto/graph/hypercube.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/hypercube.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/hypercube.cpp.o.d"
+  "/root/repo/src/opto/graph/mesh.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/mesh.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/mesh.cpp.o.d"
+  "/root/repo/src/opto/graph/node_symmetry.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/node_symmetry.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/node_symmetry.cpp.o.d"
+  "/root/repo/src/opto/graph/random_regular.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/random_regular.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/random_regular.cpp.o.d"
+  "/root/repo/src/opto/graph/ring.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/ring.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/ring.cpp.o.d"
+  "/root/repo/src/opto/graph/shuffle_exchange.cpp" "src/CMakeFiles/opto_graph.dir/opto/graph/shuffle_exchange.cpp.o" "gcc" "src/CMakeFiles/opto_graph.dir/opto/graph/shuffle_exchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/opto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_graph.dir/opto/graph/butterfly.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/butterfly.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/complete.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/complete.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/debruijn.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/debruijn.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/expander.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/expander.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/graph.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/graph.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/graph_algo.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/graph_algo.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/hypercube.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/hypercube.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/mesh.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/mesh.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/node_symmetry.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/node_symmetry.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/random_regular.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/random_regular.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/ring.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/ring.cpp.o.d"
+  "CMakeFiles/opto_graph.dir/opto/graph/shuffle_exchange.cpp.o"
+  "CMakeFiles/opto_graph.dir/opto/graph/shuffle_exchange.cpp.o.d"
+  "libopto_graph.a"
+  "libopto_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

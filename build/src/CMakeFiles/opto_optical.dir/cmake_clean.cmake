@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_optical.dir/opto/optical/coupler.cpp.o"
+  "CMakeFiles/opto_optical.dir/opto/optical/coupler.cpp.o.d"
+  "CMakeFiles/opto_optical.dir/opto/optical/router.cpp.o"
+  "CMakeFiles/opto_optical.dir/opto/optical/router.cpp.o.d"
+  "CMakeFiles/opto_optical.dir/opto/optical/worm.cpp.o"
+  "CMakeFiles/opto_optical.dir/opto/optical/worm.cpp.o.d"
+  "libopto_optical.a"
+  "libopto_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_par.dir/opto/par/parallel_for.cpp.o"
+  "CMakeFiles/opto_par.dir/opto/par/parallel_for.cpp.o.d"
+  "CMakeFiles/opto_par.dir/opto/par/thread_pool.cpp.o"
+  "CMakeFiles/opto_par.dir/opto/par/thread_pool.cpp.o.d"
+  "libopto_par.a"
+  "libopto_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opto/paths/bfs_shortest.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/bfs_shortest.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/bfs_shortest.cpp.o.d"
+  "/root/repo/src/opto/paths/butterfly_paths.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/butterfly_paths.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/butterfly_paths.cpp.o.d"
+  "/root/repo/src/opto/paths/dimension_order.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/dimension_order.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/dimension_order.cpp.o.d"
+  "/root/repo/src/opto/paths/dot_export.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/dot_export.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/dot_export.cpp.o.d"
+  "/root/repo/src/opto/paths/leveled.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/leveled.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/leveled.cpp.o.d"
+  "/root/repo/src/opto/paths/lightpath_layout.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/lightpath_layout.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/lightpath_layout.cpp.o.d"
+  "/root/repo/src/opto/paths/lowerbound_structures.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/lowerbound_structures.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/lowerbound_structures.cpp.o.d"
+  "/root/repo/src/opto/paths/path.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/path.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/path.cpp.o.d"
+  "/root/repo/src/opto/paths/path_collection.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/path_collection.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/path_collection.cpp.o.d"
+  "/root/repo/src/opto/paths/shortcut_free.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/shortcut_free.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/shortcut_free.cpp.o.d"
+  "/root/repo/src/opto/paths/tree_layout.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/tree_layout.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/tree_layout.cpp.o.d"
+  "/root/repo/src/opto/paths/valiant.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/valiant.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/valiant.cpp.o.d"
+  "/root/repo/src/opto/paths/wavelength_assignment.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/wavelength_assignment.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/wavelength_assignment.cpp.o.d"
+  "/root/repo/src/opto/paths/workloads.cpp" "src/CMakeFiles/opto_paths.dir/opto/paths/workloads.cpp.o" "gcc" "src/CMakeFiles/opto_paths.dir/opto/paths/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/opto_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

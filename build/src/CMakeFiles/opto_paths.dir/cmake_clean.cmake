@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_paths.dir/opto/paths/bfs_shortest.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/bfs_shortest.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/butterfly_paths.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/butterfly_paths.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/dimension_order.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/dimension_order.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/dot_export.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/dot_export.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/leveled.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/leveled.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/lightpath_layout.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/lightpath_layout.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/lowerbound_structures.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/lowerbound_structures.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/path.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/path.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/path_collection.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/path_collection.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/shortcut_free.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/shortcut_free.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/tree_layout.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/tree_layout.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/valiant.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/valiant.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/wavelength_assignment.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/wavelength_assignment.cpp.o.d"
+  "CMakeFiles/opto_paths.dir/opto/paths/workloads.cpp.o"
+  "CMakeFiles/opto_paths.dir/opto/paths/workloads.cpp.o.d"
+  "libopto_paths.a"
+  "libopto_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

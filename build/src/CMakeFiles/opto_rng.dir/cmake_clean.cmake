@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_rng.dir/opto/rng/rng.cpp.o"
+  "CMakeFiles/opto_rng.dir/opto/rng/rng.cpp.o.d"
+  "libopto_rng.a"
+  "libopto_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

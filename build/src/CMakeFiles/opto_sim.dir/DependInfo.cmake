@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opto/sim/metrics.cpp" "src/CMakeFiles/opto_sim.dir/opto/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/opto_sim.dir/opto/sim/metrics.cpp.o.d"
+  "/root/repo/src/opto/sim/occupancy.cpp" "src/CMakeFiles/opto_sim.dir/opto/sim/occupancy.cpp.o" "gcc" "src/CMakeFiles/opto_sim.dir/opto/sim/occupancy.cpp.o.d"
+  "/root/repo/src/opto/sim/reference.cpp" "src/CMakeFiles/opto_sim.dir/opto/sim/reference.cpp.o" "gcc" "src/CMakeFiles/opto_sim.dir/opto/sim/reference.cpp.o.d"
+  "/root/repo/src/opto/sim/simulator.cpp" "src/CMakeFiles/opto_sim.dir/opto/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/opto_sim.dir/opto/sim/simulator.cpp.o.d"
+  "/root/repo/src/opto/sim/trace.cpp" "src/CMakeFiles/opto_sim.dir/opto/sim/trace.cpp.o" "gcc" "src/CMakeFiles/opto_sim.dir/opto/sim/trace.cpp.o.d"
+  "/root/repo/src/opto/sim/validate.cpp" "src/CMakeFiles/opto_sim.dir/opto/sim/validate.cpp.o" "gcc" "src/CMakeFiles/opto_sim.dir/opto/sim/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/opto_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/opto_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

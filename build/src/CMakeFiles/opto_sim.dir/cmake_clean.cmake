@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_sim.dir/opto/sim/metrics.cpp.o"
+  "CMakeFiles/opto_sim.dir/opto/sim/metrics.cpp.o.d"
+  "CMakeFiles/opto_sim.dir/opto/sim/occupancy.cpp.o"
+  "CMakeFiles/opto_sim.dir/opto/sim/occupancy.cpp.o.d"
+  "CMakeFiles/opto_sim.dir/opto/sim/reference.cpp.o"
+  "CMakeFiles/opto_sim.dir/opto/sim/reference.cpp.o.d"
+  "CMakeFiles/opto_sim.dir/opto/sim/simulator.cpp.o"
+  "CMakeFiles/opto_sim.dir/opto/sim/simulator.cpp.o.d"
+  "CMakeFiles/opto_sim.dir/opto/sim/trace.cpp.o"
+  "CMakeFiles/opto_sim.dir/opto/sim/trace.cpp.o.d"
+  "CMakeFiles/opto_sim.dir/opto/sim/validate.cpp.o"
+  "CMakeFiles/opto_sim.dir/opto/sim/validate.cpp.o.d"
+  "libopto_sim.a"
+  "libopto_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

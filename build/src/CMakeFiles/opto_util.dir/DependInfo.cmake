@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opto/util/cli.cpp" "src/CMakeFiles/opto_util.dir/opto/util/cli.cpp.o" "gcc" "src/CMakeFiles/opto_util.dir/opto/util/cli.cpp.o.d"
+  "/root/repo/src/opto/util/json.cpp" "src/CMakeFiles/opto_util.dir/opto/util/json.cpp.o" "gcc" "src/CMakeFiles/opto_util.dir/opto/util/json.cpp.o.d"
+  "/root/repo/src/opto/util/logging.cpp" "src/CMakeFiles/opto_util.dir/opto/util/logging.cpp.o" "gcc" "src/CMakeFiles/opto_util.dir/opto/util/logging.cpp.o.d"
+  "/root/repo/src/opto/util/stats.cpp" "src/CMakeFiles/opto_util.dir/opto/util/stats.cpp.o" "gcc" "src/CMakeFiles/opto_util.dir/opto/util/stats.cpp.o.d"
+  "/root/repo/src/opto/util/string_util.cpp" "src/CMakeFiles/opto_util.dir/opto/util/string_util.cpp.o" "gcc" "src/CMakeFiles/opto_util.dir/opto/util/string_util.cpp.o.d"
+  "/root/repo/src/opto/util/table.cpp" "src/CMakeFiles/opto_util.dir/opto/util/table.cpp.o" "gcc" "src/CMakeFiles/opto_util.dir/opto/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opto_util.dir/opto/util/cli.cpp.o"
+  "CMakeFiles/opto_util.dir/opto/util/cli.cpp.o.d"
+  "CMakeFiles/opto_util.dir/opto/util/json.cpp.o"
+  "CMakeFiles/opto_util.dir/opto/util/json.cpp.o.d"
+  "CMakeFiles/opto_util.dir/opto/util/logging.cpp.o"
+  "CMakeFiles/opto_util.dir/opto/util/logging.cpp.o.d"
+  "CMakeFiles/opto_util.dir/opto/util/stats.cpp.o"
+  "CMakeFiles/opto_util.dir/opto/util/stats.cpp.o.d"
+  "CMakeFiles/opto_util.dir/opto/util/string_util.cpp.o"
+  "CMakeFiles/opto_util.dir/opto/util/string_util.cpp.o.d"
+  "CMakeFiles/opto_util.dir/opto/util/table.cpp.o"
+  "CMakeFiles/opto_util.dir/opto/util/table.cpp.o.d"
+  "libopto_util.a"
+  "libopto_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opto_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_bounds.dir/test_analysis_bounds.cpp.o"
+  "CMakeFiles/test_analysis_bounds.dir/test_analysis_bounds.cpp.o.d"
+  "test_analysis_bounds"
+  "test_analysis_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_congestion_theory.dir/test_congestion_theory.cpp.o"
+  "CMakeFiles/test_congestion_theory.dir/test_congestion_theory.cpp.o.d"
+  "test_congestion_theory"
+  "test_congestion_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_congestion_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupler.dir/test_coupler.cpp.o"
+  "CMakeFiles/test_coupler.dir/test_coupler.cpp.o.d"
+  "test_coupler"
+  "test_coupler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

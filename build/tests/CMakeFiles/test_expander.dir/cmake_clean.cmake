@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expander.dir/test_expander.cpp.o"
+  "CMakeFiles/test_expander.dir/test_expander.cpp.o.d"
+  "test_expander"
+  "test_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

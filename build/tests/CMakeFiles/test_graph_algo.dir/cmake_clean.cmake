@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_algo.dir/test_graph_algo.cpp.o"
+  "CMakeFiles/test_graph_algo.dir/test_graph_algo.cpp.o.d"
+  "test_graph_algo"
+  "test_graph_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

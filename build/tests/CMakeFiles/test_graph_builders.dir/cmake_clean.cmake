@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_builders.dir/test_graph_builders.cpp.o"
+  "CMakeFiles/test_graph_builders.dir/test_graph_builders.cpp.o.d"
+  "test_graph_builders"
+  "test_graph_builders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_networks.dir/test_integration_networks.cpp.o"
+  "CMakeFiles/test_integration_networks.dir/test_integration_networks.cpp.o.d"
+  "test_integration_networks"
+  "test_integration_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

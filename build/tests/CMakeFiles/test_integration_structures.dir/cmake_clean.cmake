@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_structures.dir/test_integration_structures.cpp.o"
+  "CMakeFiles/test_integration_structures.dir/test_integration_structures.cpp.o.d"
+  "test_integration_structures"
+  "test_integration_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

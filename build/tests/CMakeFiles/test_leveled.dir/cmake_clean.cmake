@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leveled.dir/test_leveled.cpp.o"
+  "CMakeFiles/test_leveled.dir/test_leveled.cpp.o.d"
+  "test_leveled"
+  "test_leveled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leveled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_leveled.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lightpath_layout.dir/test_lightpath_layout.cpp.o"
+  "CMakeFiles/test_lightpath_layout.dir/test_lightpath_layout.cpp.o.d"
+  "test_lightpath_layout"
+  "test_lightpath_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lightpath_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

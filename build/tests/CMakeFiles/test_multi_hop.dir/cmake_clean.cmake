@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_hop.dir/test_multi_hop.cpp.o"
+  "CMakeFiles/test_multi_hop.dir/test_multi_hop.cpp.o.d"
+  "test_multi_hop"
+  "test_multi_hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

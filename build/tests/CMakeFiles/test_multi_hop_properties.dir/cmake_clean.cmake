@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_hop_properties.dir/test_multi_hop_properties.cpp.o"
+  "CMakeFiles/test_multi_hop_properties.dir/test_multi_hop_properties.cpp.o.d"
+  "test_multi_hop_properties"
+  "test_multi_hop_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_hop_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

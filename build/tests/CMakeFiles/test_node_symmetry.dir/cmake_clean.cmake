@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_symmetry.dir/test_node_symmetry.cpp.o"
+  "CMakeFiles/test_node_symmetry.dir/test_node_symmetry.cpp.o.d"
+  "test_node_symmetry"
+  "test_node_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

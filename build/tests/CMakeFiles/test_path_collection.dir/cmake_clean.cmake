@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_collection.dir/test_path_collection.cpp.o"
+  "CMakeFiles/test_path_collection.dir/test_path_collection.cpp.o.d"
+  "test_path_collection"
+  "test_path_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_assign.dir/test_priority_assign.cpp.o"
+  "CMakeFiles/test_priority_assign.dir/test_priority_assign.cpp.o.d"
+  "test_priority_assign"
+  "test_priority_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

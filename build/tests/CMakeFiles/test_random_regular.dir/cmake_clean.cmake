@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_regular.dir/test_random_regular.cpp.o"
+  "CMakeFiles/test_random_regular.dir/test_random_regular.cpp.o.d"
+  "test_random_regular"
+  "test_random_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_json.dir/test_result_json.cpp.o"
+  "CMakeFiles/test_result_json.dir/test_result_json.cpp.o.d"
+  "test_result_json"
+  "test_result_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shortcut_free.dir/test_shortcut_free.cpp.o"
+  "CMakeFiles/test_shortcut_free.dir/test_shortcut_free.cpp.o.d"
+  "test_shortcut_free"
+  "test_shortcut_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shortcut_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_conversion.dir/test_simulator_conversion.cpp.o"
+  "CMakeFiles/test_simulator_conversion.dir/test_simulator_conversion.cpp.o.d"
+  "test_simulator_conversion"
+  "test_simulator_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

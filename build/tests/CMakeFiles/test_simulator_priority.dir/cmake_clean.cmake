@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_priority.dir/test_simulator_priority.cpp.o"
+  "CMakeFiles/test_simulator_priority.dir/test_simulator_priority.cpp.o.d"
+  "test_simulator_priority"
+  "test_simulator_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

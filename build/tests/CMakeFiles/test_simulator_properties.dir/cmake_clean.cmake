@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_properties.dir/test_simulator_properties.cpp.o"
+  "CMakeFiles/test_simulator_properties.dir/test_simulator_properties.cpp.o.d"
+  "test_simulator_properties"
+  "test_simulator_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_wdm.dir/test_static_wdm.cpp.o"
+  "CMakeFiles/test_static_wdm.dir/test_static_wdm.cpp.o.d"
+  "test_static_wdm"
+  "test_static_wdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_wdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavelength_assignment.dir/test_wavelength_assignment.cpp.o"
+  "CMakeFiles/test_wavelength_assignment.dir/test_wavelength_assignment.cpp.o.d"
+  "test_wavelength_assignment"
+  "test_wavelength_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavelength_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_witness_builder.dir/test_witness_builder.cpp.o"
+  "CMakeFiles/test_witness_builder.dir/test_witness_builder.cpp.o.d"
+  "test_witness_builder"
+  "test_witness_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_witness_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

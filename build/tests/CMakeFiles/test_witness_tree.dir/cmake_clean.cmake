@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_witness_tree.dir/test_witness_tree.cpp.o"
+  "CMakeFiles/test_witness_tree.dir/test_witness_tree.cpp.o.d"
+  "test_witness_tree"
+  "test_witness_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_witness_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
