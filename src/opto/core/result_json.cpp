@@ -60,6 +60,16 @@ void write_result_json(std::ostream& os, const ProtocolResult& result) {
     json.value(report.forward.worm_steps);
     json.key("link_busy_steps");
     json.value(report.forward.link_busy_steps);
+    json.key("steps");
+    json.value(report.forward.steps);
+    json.key("registry_probes");
+    json.value(report.forward.registry_probes);
+    json.key("registry_hits");
+    json.value(report.forward.registry_hits);
+    json.key("peak_inflight");
+    json.value(report.forward.peak_inflight);
+    json.key("wall_ns");  // nonzero only under OPTO_PROFILE
+    json.value(report.forward.wall_ns);
     json.end_object();
     json.end_object();
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "opto/util/assert.hpp"
 
@@ -61,6 +62,19 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
   sim_config.conversion = config_.conversion;
   sim_config.converters = config_.converters;
   Simulator forward_sim(collection_, sim_config);
+  // The ack simulator and every per-round buffer live outside the round
+  // loop: together with the simulator's own pass-state reuse this makes
+  // the steady state of a protocol run allocation-free.
+  std::optional<Simulator> ack_sim;
+  if (config_.ack_mode == AckMode::Simulated)
+    ack_sim.emplace(ensure_reverse_collection(), sim_config);
+  PassResult forward;
+  PassResult ack_pass;
+  std::vector<LaunchSpec> specs;
+  std::vector<char> acked;
+  std::vector<PathId> still_active;
+  std::vector<LaunchSpec> ack_specs;
+  std::vector<std::size_t> ack_owner;  // index into `active`
 
   for (std::uint32_t round = 1;
        round <= config_.max_rounds && !active.empty(); ++round) {
@@ -81,7 +95,7 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
         assign_priorities(config_.priorities, active, collection_.size(), rng);
 
     // Launch every active worm with fresh random delay and wavelength.
-    std::vector<LaunchSpec> specs(active.size());
+    specs.assign(active.size(), LaunchSpec{});
     for (std::size_t i = 0; i < active.size(); ++i) {
       LaunchSpec& spec = specs[i];
       spec.path = active[i];
@@ -93,7 +107,7 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
       spec.length = config_.worm_length;
     }
 
-    const PassResult forward = forward_sim.run(specs);
+    forward_sim.run(specs, forward);
     report.forward = forward.metrics;
     report.forward_makespan = forward.metrics.makespan;
     if (config_.keep_round_outcomes) {
@@ -102,17 +116,15 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
     }
 
     // Determine which deliveries get acknowledged.
-    std::vector<char> acked(active.size(), 0);
+    acked.assign(active.size(), 0);
     if (config_.ack_mode == AckMode::Ideal) {
       for (std::size_t i = 0; i < active.size(); ++i)
         acked[i] = forward.worms[i].delivered_intact() ? 1 : 0;
     } else {
       // Simulated acks: 1..ack_length flits back along the reverse path in
       // a separate band of B wavelengths, launched right after delivery.
-      const PathCollection& reverse = ensure_reverse_collection();
-      Simulator ack_sim(reverse, sim_config);
-      std::vector<LaunchSpec> ack_specs;
-      std::vector<std::size_t> ack_owner;  // index into `active`
+      ack_specs.clear();
+      ack_owner.clear();
       for (std::size_t i = 0; i < active.size(); ++i) {
         if (!forward.worms[i].delivered_intact()) continue;
         LaunchSpec spec;
@@ -125,14 +137,14 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
         ack_specs.push_back(spec);
         ack_owner.push_back(i);
       }
-      const PassResult ack_pass = ack_sim.run(ack_specs);
+      ack_sim->run(ack_specs, ack_pass);
       report.ack_makespan = ack_pass.metrics.makespan;
       for (std::size_t j = 0; j < ack_specs.size(); ++j)
         if (ack_pass.worms[j].delivered_intact()) acked[ack_owner[j]] = 1;
     }
 
     // Bookkeeping + retirement of acknowledged worms.
-    std::vector<PathId> still_active;
+    still_active.clear();
     still_active.reserve(active.size());
     for (std::size_t i = 0; i < active.size(); ++i) {
       const bool delivered = forward.worms[i].delivered_intact();
@@ -146,7 +158,7 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
       }
     }
     result.duplicate_deliveries += report.duplicates;
-    active = std::move(still_active);
+    std::swap(active, still_active);  // recycle the old buffer next round
 
     result.total_charged_time += report.charged_time;
     result.total_actual_time +=

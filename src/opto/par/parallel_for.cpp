@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <mutex>
+#include <utility>
 
 #include "opto/util/assert.hpp"
 
@@ -11,26 +13,42 @@ namespace opto {
 namespace {
 
 /// Completion latch local to one parallel_for call, so nested or concurrent
-/// calls on the shared pool do not interfere.
+/// calls on the shared pool do not interfere. Captures the first exception
+/// a chunk throws; wait() rethrows it on the calling thread once every
+/// chunk has arrived (arrival is RAII in the task, so a throwing body can
+/// never strand the latch).
 class Completion {
  public:
   explicit Completion(std::size_t expected) : remaining_(expected) {}
 
-  void arrive() {
+  void arrive() noexcept {
     std::lock_guard<std::mutex> lock(mutex_);
     OPTO_ASSERT(remaining_ > 0);
     if (--remaining_ == 0) done_.notify_all();
   }
 
+  void fail(std::exception_ptr error) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::move(error);
+  }
+
   void wait() {
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [this] { return remaining_ == 0; });
+    if (error_) std::rethrow_exception(error_);
   }
 
  private:
   std::mutex mutex_;
   std::condition_variable done_;
   std::size_t remaining_;
+  std::exception_ptr error_;
+};
+
+/// RAII arrival: runs even when the chunk body throws.
+struct ArriveGuard {
+  Completion& completion;
+  ~ArriveGuard() { completion.arrive(); }
 };
 
 }  // namespace
@@ -58,8 +76,15 @@ void parallel_for_chunked(
   for (std::size_t lo = begin; lo < end; lo += chunk_size) {
     const std::size_t hi = std::min(lo + chunk_size, end);
     pool->submit([&body, &completion, lo, hi] {
-      body(lo, hi);
-      completion.arrive();
+      ArriveGuard guard{completion};
+      try {
+        body(lo, hi);
+      } catch (...) {
+        // Routed to the caller of wait(), not to the pool's wait_idle():
+        // the exception belongs to this parallel_for, and the task itself
+        // completes normally from the pool's point of view.
+        completion.fail(std::current_exception());
+      }
     });
   }
   completion.wait();

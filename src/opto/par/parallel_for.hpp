@@ -16,7 +16,8 @@ namespace opto {
 
 /// Runs body(i) for i in [begin, end) across the pool; returns when all
 /// iterations finished. Runs inline when the range is tiny or the pool has
-/// a single thread.
+/// a single thread. If the body throws, every chunk still completes (the
+/// latch can never hang) and the first exception is rethrown here.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   ThreadPool* pool = nullptr);

@@ -38,11 +38,27 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
+  // Completion is RAII: a throwing task must still decrement the
+  // in-flight count, or wait_idle() (and every parallel_for built on the
+  // pool) would block forever.
+  struct CompletionGuard {
+    ThreadPool& pool;
+    ~CompletionGuard() {
+      std::lock_guard<std::mutex> lock(pool.mutex_);
+      --pool.in_flight_;
+      if (pool.in_flight_ == 0) pool.all_done_.notify_all();
+    }
+  };
   while (true) {
     std::function<void()> task;
     {
@@ -53,11 +69,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
-    {
+    CompletionGuard guard{*this};
+    try {
+      task();
+    } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (!first_error_) first_error_ = std::current_exception();
     }
   }
 }

@@ -2,14 +2,17 @@
 //
 // The simulator itself is single-threaded per instance; the pool exists so
 // the experiment harness can run independent trials (different seeds /
-// parameter points) concurrently. Tasks are plain std::function<void()>;
-// exceptions escaping a task abort (simulation code reports errors through
-// results, not exceptions).
+// parameter points) concurrently. Tasks are plain std::function<void()>.
+// A task that throws does not take the pool down: completion bookkeeping
+// is RAII (the in-flight count always reaches zero, so wait_idle() and
+// parallel_for never hang on a throwing body), the first exception is
+// captured, and the next wait_idle() rethrows it on the calling thread.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,7 +31,9 @@ class ThreadPool {
 
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw
+  /// since the last wait_idle(), rethrows the first such exception here
+  /// (further exceptions from the same batch are dropped).
   void wait_idle();
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -45,6 +50,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  ///< first task exception since last wait
   std::vector<std::thread> workers_;
 };
 

@@ -15,6 +15,11 @@ void PassMetrics::merge(const PassMetrics& other) {
   makespan = std::max(makespan, other.makespan);
   worm_steps += other.worm_steps;
   link_busy_steps += other.link_busy_steps;
+  steps += other.steps;
+  registry_probes += other.registry_probes;
+  registry_hits += other.registry_hits;
+  peak_inflight = std::max(peak_inflight, other.peak_inflight);
+  wall_ns += other.wall_ns;
 }
 
 double PassMetrics::utilization(std::uint64_t link_count,

@@ -15,7 +15,10 @@ struct PassMetrics {
                                  ///< more than once)
   std::uint64_t truncated_arrivals = 0;  ///< remnants that reached their
                                          ///< destination (failed deliveries)
-  std::uint64_t contentions = 0;  ///< contention groups resolved
+  /// Contention events: for fixed-wavelength couplers, one per group that
+  /// had an occupant or multiple entrants; at converting couplers, one per
+  /// entrant that found its preferred wavelength taken.
+  std::uint64_t contentions = 0;
   std::uint64_t retunes = 0;     ///< wavelength conversions performed
   SimTime makespan = 0;          ///< last event time of the pass
   std::uint64_t worm_steps = 0;  ///< total link entries (engine throughput)
@@ -23,6 +26,17 @@ struct PassMetrics {
   /// truncations trimmed. Divide by link_count × (makespan+1) × B for the
   /// network's optical utilization.
   std::uint64_t link_busy_steps = 0;
+
+  // Engine instrumentation (cheap counters, always on; see also
+  // OPTO_PROFILE for wall-clock timing). The reference engine does not
+  // populate these — they describe the fast engine's work, not the model.
+  std::uint64_t steps = 0;            ///< time-loop iterations simulated
+  std::uint64_t registry_probes = 0;  ///< occupancy-table slots inspected
+  std::uint64_t registry_hits = 0;    ///< lookups that found an occupant
+  std::uint64_t peak_inflight = 0;    ///< max worms running+draining at once
+  /// Wall-clock nanoseconds spent in the pass; populated only when the
+  /// OPTO_PROFILE environment variable is set (non-empty).
+  std::uint64_t wall_ns = 0;
 
   void merge(const PassMetrics& other);
 

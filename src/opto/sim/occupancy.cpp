@@ -1,42 +1,155 @@
 #include "opto/sim/occupancy.hpp"
 
+#include <algorithm>
+
 #include "opto/util/assert.hpp"
 
 namespace opto {
 
+namespace {
+constexpr std::size_t kInitialCapacity = 64;  // power of two
+constexpr std::size_t kNoSlot = ~std::size_t{0};
+}  // namespace
+
+OccupancyRegistry::OccupancyRegistry()
+    : slots_(kInitialCapacity), mask_(kInitialCapacity - 1) {}
+
+const Claim* OccupancyRegistry::find(EdgeId link, Wavelength wavelength,
+                                     SimTime now) const {
+  const std::uint64_t key = pack(link, wavelength);
+  std::size_t idx = bucket(key);
+  while (true) {
+    const Slot& slot = slots_[idx];
+    ++stats_.probes;
+    if (slot.epoch != epoch_) return nullptr;  // empty: end of chain
+    if (!slot.dead && slot.key == key) {
+      if (slot.claim.release <= now) return nullptr;  // stale: drained
+      OPTO_DASSERT(slot.claim.entry <= now);
+      ++stats_.hits;
+      return &slot.claim;
+    }
+    idx = (idx + 1) & mask_;
+  }
+}
+
 std::optional<Claim> OccupancyRegistry::occupant(EdgeId link,
                                                  Wavelength wavelength,
                                                  SimTime now) const {
-  const auto it = claims_.find(key(link, wavelength));
-  if (it == claims_.end()) return std::nullopt;
-  const Claim& claim = it->second;
-  if (claim.release <= now) return std::nullopt;  // stale: already drained
-  OPTO_DASSERT(claim.entry <= now);
-  return claim;
+  const Claim* claim = find(link, wavelength, now);
+  if (claim == nullptr) return std::nullopt;
+  return *claim;
+}
+
+OccupancyRegistry::Slot* OccupancyRegistry::locate(std::uint64_t key) {
+  std::size_t idx = bucket(key);
+  while (true) {
+    Slot& slot = slots_[idx];
+    if (slot.epoch != epoch_) return nullptr;
+    if (!slot.dead && slot.key == key) return &slot;
+    idx = (idx + 1) & mask_;
+  }
 }
 
 void OccupancyRegistry::claim(EdgeId link, Wavelength wavelength,
                               const Claim& claim) {
   OPTO_DASSERT(claim.release > claim.entry);
-  claims_[key(link, wavelength)] = claim;
+  if ((used_ + 1) * 4 >= slots_.size() * 3) grow();
+  const std::uint64_t key = pack(link, wavelength);
+  std::size_t idx = bucket(key);
+  std::size_t reusable = kNoSlot;
+  while (true) {
+    Slot& slot = slots_[idx];
+    if (slot.epoch != epoch_) {
+      // End of chain: the key has no live entry. Prefer recycling a
+      // tombstone or an expired entry seen on the way (keeps chains
+      // short); otherwise take the empty slot.
+      if (reusable != kNoSlot) {
+        Slot& reuse = slots_[reusable];
+        if (reuse.dead) {
+          reuse.dead = false;
+          ++live_;
+        }
+        // An expired live entry is evicted in place: live_ unchanged.
+        reuse.key = key;
+        reuse.claim = claim;
+        return;
+      }
+      slot.key = key;
+      slot.claim = claim;
+      slot.epoch = epoch_;
+      slot.dead = false;
+      ++live_;
+      ++used_;
+      return;
+    }
+    if (!slot.dead && slot.key == key) {
+      slot.claim = claim;  // overwrite: admitted winner replaces loser
+      return;
+    }
+    if (reusable == kNoSlot &&
+        (slot.dead || slot.claim.release <= claim.entry))
+      reusable = idx;
+    idx = (idx + 1) & mask_;
+  }
 }
 
 SimTime OccupancyRegistry::shorten(EdgeId link, Wavelength wavelength,
                                    WormId worm, SimTime new_release) {
-  const auto it = claims_.find(key(link, wavelength));
-  if (it == claims_.end() || it->second.worm != worm) return 0;
-  if (new_release >= it->second.release) return 0;
-  const SimTime trimmed = it->second.release - new_release;
-  it->second.release = new_release;
+  Slot* slot = locate(pack(link, wavelength));
+  if (slot == nullptr || slot->claim.worm != worm) return 0;
+  if (new_release < slot->claim.entry) new_release = slot->claim.entry;
+  if (new_release >= slot->claim.release) return 0;
+  const SimTime trimmed = slot->claim.release - new_release;
+  slot->claim.release = new_release;
   return trimmed;
 }
 
+void OccupancyRegistry::clear() {
+  if (++epoch_ == 0) {  // epoch wrap: lazily-emptied slots become ambiguous
+    for (Slot& slot : slots_) slot.epoch = 0;
+    epoch_ = 1;
+  }
+  live_ = 0;
+  used_ = 0;
+  sweep_cursor_ = 0;
+}
+
 void OccupancyRegistry::sweep(SimTime now) {
-  for (auto it = claims_.begin(); it != claims_.end();) {
-    if (it->second.release <= now)
-      it = claims_.erase(it);
-    else
-      ++it;
+  for (Slot& slot : slots_) {
+    if (slot.epoch != epoch_ || slot.dead) continue;
+    if (slot.claim.release <= now) {
+      slot.dead = true;
+      --live_;
+    }
+  }
+}
+
+void OccupancyRegistry::sweep_step(SimTime now, std::size_t budget) {
+  if (live_ == 0) return;
+  budget = std::min(budget, slots_.size());
+  for (std::size_t i = 0; i < budget; ++i) {
+    Slot& slot = slots_[sweep_cursor_];
+    sweep_cursor_ = (sweep_cursor_ + 1) & mask_;
+    if (slot.epoch != epoch_ || slot.dead) continue;
+    if (slot.claim.release <= now) {
+      slot.dead = true;
+      --live_;
+    }
+  }
+}
+
+void OccupancyRegistry::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  used_ = live_;
+  sweep_cursor_ = 0;
+  for (const Slot& slot : old) {
+    if (slot.epoch != epoch_ || slot.dead) continue;
+    std::size_t idx = bucket(slot.key);
+    while (slots_[idx].epoch == epoch_) idx = (idx + 1) & mask_;
+    Slot& fresh = slots_[idx];
+    fresh = slot;
   }
 }
 

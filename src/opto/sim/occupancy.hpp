@@ -7,11 +7,27 @@
 // times via shorten(); an admitted winner simply overwrites the key (the
 // loser's surviving flits are strictly ahead of the winner's, so the link
 // is never double-booked — see the simulator's model notes).
+//
+// Storage is a flat, open-addressed hash table (linear probing) keyed by
+// the packed (link << 16) | wavelength word the simulator already computes
+// per attempt. Design notes:
+//  * clear() is O(1): slots carry an epoch stamp and a bumped epoch makes
+//    every slot read as empty, so per-pass reset costs nothing even when
+//    the table grew large on a previous pass.
+//  * Probe chains are never broken: swept entries become tombstones (kept
+//    non-empty for lookups) and are recycled by later insertions; a live
+//    entry whose release is ≤ the inserting claim's entry time is equally
+//    recyclable, since occupant() already treats it as absent.
+//  * sweep_step() retires expired claims incrementally (a bounded slot
+//    window per call) instead of a stop-the-world scan, so long passes pay
+//    a constant per-step GC cost with no periodic latency spike.
+//  * Lookup probes and hits are counted; the simulator surfaces them in
+//    PassMetrics so registry behaviour is visible in BENCH JSON.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "opto/graph/graph.hpp"
 #include "opto/optical/worm.hpp"
@@ -28,7 +44,19 @@ struct Claim {
 
 class OccupancyRegistry {
  public:
-  /// The occupant of (link, wavelength) at time `now`, if any.
+  struct Stats {
+    std::uint64_t probes = 0;  ///< slots inspected across all lookups
+    std::uint64_t hits = 0;    ///< lookups that found a live occupant
+  };
+
+  OccupancyRegistry();
+
+  /// The live occupant of (link, wavelength) at time `now`, or nullptr.
+  /// The pointer is valid until the next claim()/clear() (shorten and
+  /// sweep never move slots).
+  const Claim* find(EdgeId link, Wavelength wavelength, SimTime now) const;
+
+  /// Copying convenience wrapper over find().
   std::optional<Claim> occupant(EdgeId link, Wavelength wavelength,
                                 SimTime now) const;
 
@@ -37,22 +65,59 @@ class OccupancyRegistry {
 
   /// Caps the release time of `worm`'s claim on (link, wavelength) at
   /// `new_release` (no-op if the key is now owned by another worm or the
-  /// claim already releases earlier). Returns the busy steps trimmed.
+  /// claim already releases earlier; a cap below the entry time clamps to
+  /// it). Returns the busy steps trimmed.
   SimTime shorten(EdgeId link, Wavelength wavelength, WormId worm,
                   SimTime new_release);
 
-  void clear() { claims_.clear(); }
-  std::size_t size() const { return claims_.size(); }
+  /// Forgets every claim. O(1): bumps the slot epoch.
+  void clear();
 
-  /// Drops claims with release ≤ now (periodic garbage collection).
+  /// Stored claims (live entries, expired-but-unswept included).
+  std::size_t size() const { return live_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Drops every claim with release ≤ now (full garbage collection).
   void sweep(SimTime now);
 
+  /// Incremental variant: examines at most `budget` slots, resuming where
+  /// the previous call left off. Claims it skips are still invisible to
+  /// find()/occupant(), so sweep scheduling never affects outcomes.
+  void sweep_step(SimTime now, std::size_t budget);
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
  private:
-  static std::uint64_t key(EdgeId link, Wavelength wavelength) {
+  struct Slot {
+    std::uint64_t key = 0;
+    Claim claim;
+    std::uint32_t epoch = 0;  ///< in use iff equal to the registry epoch
+    bool dead = false;        ///< swept tombstone (keeps chains intact)
+  };
+
+  static std::uint64_t pack(EdgeId link, Wavelength wavelength) {
     return (static_cast<std::uint64_t>(link) << 16) | wavelength;
   }
 
-  std::unordered_map<std::uint64_t, Claim> claims_;
+  std::size_t bucket(std::uint64_t key) const {
+    // Fibonacci multiplicative hash; the packed key is highly regular.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask_;
+  }
+
+  /// The live slot holding `key`, or nullptr.
+  Slot* locate(std::uint64_t key);
+
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t live_ = 0;      ///< live entries (what size() reports)
+  std::size_t used_ = 0;      ///< live + tombstones (load-factor input)
+  std::uint32_t epoch_ = 1;
+  std::size_t sweep_cursor_ = 0;
+  mutable Stats stats_;
 };
 
 }  // namespace opto

@@ -207,7 +207,6 @@ PassResult reference_run(const PathCollection& collection,
     std::vector<std::optional<std::pair<WormId, std::uint32_t>>> occupant(
         bandwidth);
     std::vector<WormId> admitted(bandwidth, kInvalidWorm);
-    bool any_contention = false;
     for (Wavelength w = 0; w < bandwidth; ++w)
       occupant[w] = find_occupant(link, w, group);
 
@@ -239,7 +238,9 @@ PassResult reference_run(const PathCollection& collection,
         admitted[preferred] = id;
         continue;
       }
-      any_contention = true;
+      // Per-event accounting, matching resolve_fixed: every entrant that
+      // finds its preferred wavelength taken is one contention event.
+      ++result.metrics.contentions;
       if (const std::int32_t w = lowest_free(); w >= 0) {
         admit(id, static_cast<Wavelength>(w), /*retuned=*/true);
         admitted[static_cast<Wavelength>(w)] = id;
@@ -271,7 +272,6 @@ PassResult reference_run(const PathCollection& collection,
                                  : admitted[preferred];
       kill(id, blocker);
     }
-    if (any_contention) ++result.metrics.contentions;
   };
 
   while (pending_work()) {

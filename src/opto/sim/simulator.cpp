@@ -1,12 +1,57 @@
 #include "opto/sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 
 #include "opto/util/assert.hpp"
+#include "opto/util/timer.hpp"
 
 namespace opto {
+
+namespace {
+
+/// Slots examined per step by the incremental registry sweep. Small enough
+/// to be noise per step, large enough that the cursor laps the table well
+/// before stale entries can accumulate (the table is bounded by the number
+/// of distinct (link, wavelength) keys either way — sweeping only affects
+/// memory residency, never outcomes).
+constexpr std::size_t kSweepBudget = 16;
+
+/// LSD radix sort over the low `passes` bytes of each key (higher bytes
+/// must be zero). For the per-step attempt keys — a few hundred to a few
+/// thousand nearly-random integers — the branch-free counting passes beat
+/// introsort's mispredicted compares by ~2x.
+void radix_sort(std::vector<std::uint64_t>& keys,
+                std::vector<std::uint64_t>& scratch, unsigned passes) {
+  scratch.resize(keys.size());
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    const unsigned shift = pass * 8;
+    std::uint32_t offsets[256] = {};
+    for (const std::uint64_t v : keys) ++offsets[(v >> shift) & 0xff];
+    std::uint32_t sum = 0;
+    for (std::uint32_t& slot : offsets) {
+      const std::uint32_t here = slot;
+      slot = sum;
+      sum += here;
+    }
+    for (const std::uint64_t v : keys)
+      scratch[offsets[(v >> shift) & 0xff]++] = v;
+    keys.swap(scratch);
+  }
+}
+
+bool profile_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("OPTO_PROFILE");
+    return env != nullptr && env[0] != '\0';
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 const char* to_string(ConversionMode mode) {
   switch (mode) {
@@ -40,10 +85,9 @@ bool Simulator::converts_at(NodeId node) const {
   return false;
 }
 
-void Simulator::apply_truncation(std::vector<Worm>& worms, WormId victim,
-                                 std::uint32_t cut_link_index, SimTime now,
-                                 PassResult& result) {
-  Worm& worm = worms[victim];
+void Simulator::apply_truncation(WormId victim, std::uint32_t cut_link_index,
+                                 SimTime now, PassResult& result) {
+  Worm& worm = worms_[victim];
   const Path& path = collection_.path(worm.path);
   const SimTime cut_entry = worm.entry_time(cut_link_index);
   OPTO_ASSERT(now > cut_entry);
@@ -71,25 +115,56 @@ void Simulator::apply_truncation(std::vector<Worm>& worms, WormId victim,
         static_cast<std::uint64_t>(registry_.shorten(
             path.link(i), victim_wavelength(i), victim,
             worm.entry_time(i) + remnant));
+  // If the victim was still draining and the cut pulled its tail's exit
+  // from the last link to (or before) `now`, its delivery is already in
+  // the past: finalize immediately so the drain scan never records a
+  // Deliver event behind later-timestamped ones. finish_time keeps the
+  // physical drain time; the trace event carries `now` (when the outcome
+  // became known) to stay time-monotonic. Finalized or killed victims can
+  // be cut again (their upstream flits keep draining through earlier
+  // links) — those keep their existing outcome.
+  if (worm.status == WormStatus::Running &&
+      worm.head_index == path.length() && !path.empty()) {
+    const SimTime done = worm.entry_time(path.length() - 1) + worm.length - 1;
+    if (done <= now) {
+      worm.status = WormStatus::Delivered;
+      worm.finish_time = done;
+      ++result.metrics.truncated_arrivals;  // a cut worm is never intact
+      result.trace.record({now, TraceKind::Deliver, victim, kInvalidEdge,
+                           worm.wavelength, kInvalidWorm});
+    }
+  }
 }
 
 PassResult Simulator::run(std::span<const LaunchSpec> specs) {
   PassResult result;
-  result.trace = Trace(config_.record_trace);
+  run(specs, result);
+  return result;
+}
+
+void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
+  const bool profile = profile_enabled();
+  Timer timer;
+  result.trace.reset(config_.record_trace);
+  result.metrics = PassMetrics{};
   const auto count = static_cast<WormId>(specs.size());
-  result.worms.resize(count);
+  result.worms.assign(count, WormOutcome{});
   registry_.clear();
+  registry_.reset_stats();
   const bool convert = config_.conversion != ConversionMode::None;
-  if (convert) wavelength_history_.assign(count, {});
+  if (convert) {
+    if (wavelength_history_.size() < count) wavelength_history_.resize(count);
+    for (WormId id = 0; id < count; ++id) wavelength_history_[id].clear();
+  }
 
   // Materialize worm state.
-  std::vector<Worm> worms(count);
+  worms_.assign(count, Worm{});
   for (WormId id = 0; id < count; ++id) {
     const LaunchSpec& spec = specs[id];
     OPTO_ASSERT(spec.path < collection_.size());
     OPTO_ASSERT(spec.length >= 1);
     OPTO_ASSERT(spec.wavelength < config_.bandwidth);
-    Worm& worm = worms[id];
+    Worm& worm = worms_[id];
     worm.path = spec.path;
     worm.wavelength = spec.wavelength;
     worm.priority = spec.priority;
@@ -98,26 +173,61 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
     worm.length = spec.length;
   }
 
-  // Injection order: by start time (stable in worm id).
-  std::vector<WormId> injection_order(count);
-  std::iota(injection_order.begin(), injection_order.end(), 0u);
-  std::stable_sort(injection_order.begin(), injection_order.end(),
-                   [&worms](WormId a, WormId b) {
-                     return worms[a].start_time < worms[b].start_time;
-                   });
+  // Injection order: by start time, ties in worm id (the order a stable
+  // sort over the identity permutation would give). Start times fitting in
+  // 31 bits — every practical workload — sort as packed (time << 32) | id
+  // keys: one flat std::sort over POD integers beats a comparator that
+  // chases worms_[] on every compare. Exotic start times fall back to the
+  // indirect sort.
+  injection_order_.resize(count);
+  bool packable = true;
+  for (WormId id = 0; id < count; ++id) {
+    const SimTime start = worms_[id].start_time;
+    if (start < 0 || start >= (SimTime{1} << 31)) {
+      packable = false;
+      break;
+    }
+  }
+  if (packable) {
+    injection_keys_.resize(count);
+    for (WormId id = 0; id < count; ++id)
+      injection_keys_[id] =
+          (static_cast<std::uint64_t>(worms_[id].start_time) << 32) | id;
+    std::sort(injection_keys_.begin(), injection_keys_.end());
+    for (WormId i = 0; i < count; ++i)
+      injection_order_[i] = static_cast<WormId>(injection_keys_[i]);
+  } else {
+    std::iota(injection_order_.begin(), injection_order_.end(), 0u);
+    std::sort(injection_order_.begin(), injection_order_.end(),
+              [this](WormId a, WormId b) {
+                const SimTime sa = worms_[a].start_time;
+                const SimTime sb = worms_[b].start_time;
+                return sa != sb ? sa < sb : a < b;
+              });
+  }
 
-  std::vector<WormId> running;   // head still has links to enter
-  std::vector<WormId> draining;  // head done, tail still arriving
-  running.reserve(count);
+  running_.clear();
+  draining_.clear();
+  running_.reserve(count);
 
   std::size_t next_injection = 0;
-  SimTime now = count > 0 ? worms[injection_order.front()].start_time : 0;
+  SimTime now = count > 0 ? worms_[injection_order_.front()].start_time : 0;
 
-  std::vector<Attempt> attempts;
-  std::vector<Contender> contenders;
+  // Link ids below 2^15 leave room for the 17-bit wavelength/merge field
+  // and a 32-bit worm id in one packed sort key (see step 2 below). The
+  // id field is packed to its minimum width so the radix sort touches as
+  // few byte-passes as possible.
+  const bool packed_attempts =
+      collection_.graph().link_count() < (EdgeId{1} << 15);
+  const unsigned id_bits =
+      std::bit_width(std::max<std::uint32_t>(count, 2) - 1);
+  const std::uint64_t id_mask = (std::uint64_t{1} << id_bits) - 1;
+  const unsigned link_bits = std::bit_width(
+      std::max<EdgeId>(collection_.graph().link_count(), 2) - 1);
+  const unsigned radix_passes = (17 + link_bits + id_bits + 7) / 8;
 
   const auto finish_kill = [&](WormId id, SimTime t, WormId blocker) {
-    Worm& worm = worms[id];
+    Worm& worm = worms_[id];
     worm.status = WormStatus::Killed;
     worm.blocked_at_link = worm.head_index;
     worm.finish_time = t;
@@ -129,7 +239,7 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
   };
 
   const auto finish_delivery = [&](WormId id, SimTime t) {
-    Worm& worm = worms[id];
+    Worm& worm = worms_[id];
     worm.status = WormStatus::Delivered;
     worm.finish_time = t;
     if (worm.truncated)
@@ -142,7 +252,7 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
 
   /// Admits `id` onto `link` at wavelength `wl` (its head enters now).
   const auto admit = [&](WormId id, EdgeId link, Wavelength wl, bool retuned) {
-    Worm& worm = worms[id];
+    Worm& worm = worms_[id];
     if (convert) {
       wavelength_history_[id].push_back(wl);
       worm.wavelength = wl;
@@ -164,37 +274,52 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
 
   /// Conversion-free contention for one (link, wavelength) group.
   const auto resolve_fixed = [&](EdgeId link, Wavelength wl,
-                                 std::span<const Attempt> group) {
-    contenders.clear();
-    for (const Attempt& attempt : group)
-      contenders.push_back({attempt.worm, worms[attempt.worm].priority});
+                                 std::span<const WormId> group) {
+    const Claim* found = registry_.find(link, wl, now);
 
-    const auto occupant = registry_.occupant(link, wl, now);
+    // Uncontended fast path: one entrant, free link — the dominant case on
+    // sparse workloads. Skips the contender build and the resolver (which
+    // would return exactly this admission) without touching any metric.
+    if (found == nullptr && group.size() == 1) {
+      admit(group.front(), link, wl, /*retuned=*/false);
+      return;
+    }
+
+    contenders_.clear();
+    for (const WormId entrant : group)
+      contenders_.push_back({entrant, worms_[entrant].priority});
+
     std::optional<Contender> occupant_contender;
-    if (occupant.has_value())
-      occupant_contender = Contender{occupant->worm, occupant->priority};
+    // Copy what outlives registry mutation (claim() in admit can rehash).
+    WormId occupant_worm = kInvalidWorm;
+    std::uint32_t occupant_link_index = 0;
+    if (found != nullptr) {
+      occupant_contender = Contender{found->worm, found->priority};
+      occupant_worm = found->worm;
+      occupant_link_index = found->link_index;
+    }
 
-    if (occupant.has_value() || contenders.size() > 1)
+    if (found != nullptr || contenders_.size() > 1)
       ++result.metrics.contentions;
 
     const ContentionOutcome outcome = resolve_contention(
-        config_.rule, config_.tie, occupant_contender, contenders);
+        config_.rule, config_.tie, occupant_contender, contenders_);
 
     if (outcome.occupant_truncated)
-      apply_truncation(worms, occupant->worm, occupant->link_index, now,
-                       result);
+      apply_truncation(occupant_worm, occupant_link_index, now, result);
 
     for (WormId loser : outcome.eliminated) {
       // Witness (Lemma 2.2): the worm that prevented this one — the
       // occupant, else the admitted worm, else a dead-heat peer.
       WormId blocker = kInvalidWorm;
-      if (occupant.has_value())
-        blocker = occupant->worm;
+      if (occupant_worm != kInvalidWorm)
+        blocker = occupant_worm;
       else if (outcome.admitted != kInvalidWorm)
         blocker = outcome.admitted;
       else
-        blocker = loser == contenders.front().worm ? contenders.back().worm
-                                                   : contenders.front().worm;
+        blocker = loser == contenders_.front().worm
+                      ? contenders_.back().worm
+                      : contenders_.front().worm;
       finish_kill(loser, now, blocker);
     }
 
@@ -207,28 +332,27 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
   /// (worm id) order; priority scans in descending rank and may steal the
   /// weakest occupant's wavelength when none is free.
   const auto resolve_converting = [&](EdgeId link,
-                                      std::span<const Attempt> group) {
+                                      std::span<const WormId> group) {
     const std::uint16_t bandwidth = config_.bandwidth;
     // Live occupants and same-step admissions per wavelength.
-    std::vector<std::optional<Claim>> occupant(bandwidth);
-    std::vector<WormId> admitted(bandwidth, kInvalidWorm);
-    bool any_contention = false;
+    conv_occupant_.assign(bandwidth, std::nullopt);
+    conv_admitted_.assign(bandwidth, kInvalidWorm);
     for (Wavelength w = 0; w < bandwidth; ++w)
-      occupant[w] = registry_.occupant(link, w, now);
+      conv_occupant_[w] = registry_.occupant(link, w, now);
 
-    std::vector<WormId> order;
-    order.reserve(group.size());
-    for (const Attempt& attempt : group) order.push_back(attempt.worm);
+    conv_order_.assign(group.begin(), group.end());
     if (config_.rule == ContentionRule::Priority) {
-      std::sort(order.begin(), order.end(), [&worms](WormId a, WormId b) {
-        return worms[a].priority > worms[b].priority;
-      });
+      std::sort(conv_order_.begin(), conv_order_.end(),
+                [this](WormId a, WormId b) {
+                  return worms_[a].priority > worms_[b].priority;
+                });
     } else {
-      std::sort(order.begin(), order.end());
+      std::sort(conv_order_.begin(), conv_order_.end());
     }
 
     const auto is_free = [&](Wavelength w) {
-      return !occupant[w].has_value() && admitted[w] == kInvalidWorm;
+      return !conv_occupant_[w].has_value() &&
+             conv_admitted_[w] == kInvalidWorm;
     };
     const auto lowest_free = [&]() -> std::int32_t {
       for (Wavelength w = 0; w < bandwidth; ++w)
@@ -236,18 +360,20 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
       return -1;
     };
 
-    for (const WormId id : order) {
-      Worm& worm = worms[id];
+    for (const WormId id : conv_order_) {
+      Worm& worm = worms_[id];
       const Wavelength preferred = worm.wavelength;
       if (is_free(preferred)) {
         admit(id, link, preferred, /*retuned=*/false);
-        admitted[preferred] = id;
+        conv_admitted_[preferred] = id;
         continue;
       }
-      any_contention = true;
+      // Per-event accounting, matching resolve_fixed: every entrant that
+      // finds its preferred wavelength taken is one contention event.
+      ++result.metrics.contentions;
       if (const std::int32_t w = lowest_free(); w >= 0) {
         admit(id, link, static_cast<Wavelength>(w), /*retuned=*/true);
-        admitted[static_cast<Wavelength>(w)] = id;
+        conv_admitted_[static_cast<Wavelength>(w)] = id;
         continue;
       }
       if (config_.rule == ContentionRule::Priority) {
@@ -255,46 +381,46 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
         // (same-step admissions are head-to-head and cannot be cut).
         std::int32_t weakest = -1;
         for (Wavelength w = 0; w < bandwidth; ++w) {
-          if (!occupant[w].has_value()) continue;
+          if (!conv_occupant_[w].has_value()) continue;
           if (weakest < 0 ||
-              occupant[w]->priority <
-                  occupant[static_cast<Wavelength>(weakest)]->priority)
+              conv_occupant_[w]->priority <
+                  conv_occupant_[static_cast<Wavelength>(weakest)]->priority)
             weakest = w;
         }
         if (weakest >= 0) {
           const auto wl = static_cast<Wavelength>(weakest);
-          if (occupant[wl]->priority < worm.priority) {
-            apply_truncation(worms, occupant[wl]->worm,
-                             occupant[wl]->link_index, now, result);
+          if (conv_occupant_[wl]->priority < worm.priority) {
+            apply_truncation(conv_occupant_[wl]->worm,
+                             conv_occupant_[wl]->link_index, now, result);
             admit(id, link, wl, /*retuned=*/wl != preferred);
-            admitted[wl] = id;
-            occupant[wl].reset();
+            conv_admitted_[wl] = id;
+            conv_occupant_[wl].reset();
             continue;
           }
         }
       }
       // Eliminated: witness is whoever holds the preferred wavelength.
-      const WormId blocker = occupant[preferred].has_value()
-                                 ? occupant[preferred]->worm
-                                 : admitted[preferred];
+      const WormId blocker = conv_occupant_[preferred].has_value()
+                                 ? conv_occupant_[preferred]->worm
+                                 : conv_admitted_[preferred];
       finish_kill(id, now, blocker);
     }
-    if (any_contention) ++result.metrics.contentions;
   };
 
-  while (next_injection < count || !running.empty() || !draining.empty()) {
+  while (next_injection < count || !running_.empty() || !draining_.empty()) {
     // Fast-forward across idle gaps (large startup-delay ranges leave long
     // stretches with nothing in flight).
-    if (running.empty() && draining.empty()) {
+    if (running_.empty() && draining_.empty()) {
       OPTO_ASSERT(next_injection < count);
-      now = std::max(now, worms[injection_order[next_injection]].start_time);
+      now = std::max(now, worms_[injection_order_[next_injection]].start_time);
     }
+    ++result.metrics.steps;
 
     // 1. Inject worms whose startup delay expired.
     while (next_injection < count &&
-           worms[injection_order[next_injection]].start_time <= now) {
-      const WormId id = injection_order[next_injection++];
-      Worm& worm = worms[id];
+           worms_[injection_order_[next_injection]].start_time <= now) {
+      const WormId id = injection_order_[next_injection++];
+      Worm& worm = worms_[id];
       OPTO_ASSERT(worm.status == WormStatus::Waiting);
       worm.status = WormStatus::Running;
       ++result.metrics.launched;
@@ -306,86 +432,135 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
         // Zero-length path: source == destination, no link contention.
         finish_delivery(id, now);
       } else {
-        running.push_back(id);
+        running_.push_back(id);
       }
     }
+    result.metrics.peak_inflight =
+        std::max<std::uint64_t>(result.metrics.peak_inflight,
+                                running_.size() + draining_.size());
 
     // 2. Collect this step's link-entry attempts. Every running worm's
     //    head enters a link every step (worms never stall). Grouping key:
     //    (link, wavelength) normally; link only at converting routers
-    //    (entrants on different wavelengths interact there).
-    attempts.clear();
-    for (WormId id : running) {
-      const Worm& worm = worms[id];
-      OPTO_DASSERT(worm.status == WormStatus::Running);
-      OPTO_DASSERT(worm.entry_time(worm.head_index) == now);
-      const EdgeId link = collection_.path(worm.path).link(worm.head_index);
-      const bool merge_wavelengths =
-          convert && converts_at(collection_.graph().source(link));
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(link) << 17) |
-          (merge_wavelengths ? 0x10000u : worm.wavelength);
-      attempts.push_back({key, id});
-    }
-    std::sort(attempts.begin(), attempts.end(),
-              [](const Attempt& a, const Attempt& b) {
-                return a.key != b.key ? a.key < b.key : a.worm < b.worm;
-              });
-
-    // 3. Resolve contention groups in ascending key order.
-    for (std::size_t lo = 0; lo < attempts.size();) {
-      std::size_t hi = lo;
-      while (hi < attempts.size() && attempts[hi].key == attempts[lo].key)
-        ++hi;
-      const auto link = static_cast<EdgeId>(attempts[lo].key >> 17);
-      const std::span<const Attempt> group{attempts.data() + lo, hi - lo};
-      if ((attempts[lo].key & 0x10000u) != 0)
-        resolve_converting(link, group);
+    //    (entrants on different wavelengths interact there). When link ids
+    //    fit 15 bits (every practical topology), the group key and worm id
+    //    pack into one 64-bit integer, so the per-step sort — the hottest
+    //    loop in the engine — runs over flat PODs instead of chasing a
+    //    two-field comparator; wider graphs take the fallback below.
+    // 3. Resolve contention groups in ascending (key, worm) order.
+    if (packed_attempts) {
+      attempt_keys_.clear();
+      for (WormId id : running_) {
+        const Worm& worm = worms_[id];
+        OPTO_DASSERT(worm.status == WormStatus::Running);
+        OPTO_DASSERT(worm.entry_time(worm.head_index) == now);
+        const EdgeId link = collection_.path(worm.path).link(worm.head_index);
+        const bool merge_wavelengths =
+            convert && converts_at(collection_.graph().source(link));
+        const std::uint32_t key =
+            (link << 17) | (merge_wavelengths ? 0x10000u : worm.wavelength);
+        attempt_keys_.push_back((static_cast<std::uint64_t>(key) << id_bits) |
+                                id);
+      }
+      // Small steps sort faster with introsort; large ones with the
+      // byte-wise radix passes (the crossover is broad — anywhere in the
+      // low hundreds behaves the same).
+      if (attempt_keys_.size() < 128)
+        std::sort(attempt_keys_.begin(), attempt_keys_.end());
       else
-        resolve_fixed(link,
-                      static_cast<Wavelength>(attempts[lo].key & 0xffffu),
-                      group);
-      lo = hi;
+        radix_sort(attempt_keys_, attempt_keys_scratch_, radix_passes);
+      for (std::size_t lo = 0; lo < attempt_keys_.size();) {
+        const std::uint64_t key = attempt_keys_[lo] >> id_bits;
+        group_worms_.clear();
+        std::size_t hi = lo;
+        while (hi < attempt_keys_.size() &&
+               (attempt_keys_[hi] >> id_bits) == key)
+          group_worms_.push_back(
+              static_cast<WormId>(attempt_keys_[hi++] & id_mask));
+        const auto link = static_cast<EdgeId>(key >> 17);
+        const std::span<const WormId> group{group_worms_};
+        if ((key & 0x10000u) != 0)
+          resolve_converting(link, group);
+        else
+          resolve_fixed(link, static_cast<Wavelength>(key & 0xffffu), group);
+        lo = hi;
+      }
+    } else {
+      attempts_.clear();
+      for (WormId id : running_) {
+        const Worm& worm = worms_[id];
+        OPTO_DASSERT(worm.status == WormStatus::Running);
+        OPTO_DASSERT(worm.entry_time(worm.head_index) == now);
+        const EdgeId link = collection_.path(worm.path).link(worm.head_index);
+        const bool merge_wavelengths =
+            convert && converts_at(collection_.graph().source(link));
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(link) << 17) |
+            (merge_wavelengths ? 0x10000u : worm.wavelength);
+        attempts_.push_back({key, id});
+      }
+      std::sort(attempts_.begin(), attempts_.end(),
+                [](const Attempt& a, const Attempt& b) {
+                  return a.key != b.key ? a.key < b.key : a.worm < b.worm;
+                });
+      for (std::size_t lo = 0; lo < attempts_.size();) {
+        std::size_t hi = lo;
+        group_worms_.clear();
+        while (hi < attempts_.size() && attempts_[hi].key == attempts_[lo].key)
+          group_worms_.push_back(attempts_[hi++].worm);
+        const auto link = static_cast<EdgeId>(attempts_[lo].key >> 17);
+        const std::span<const WormId> group{group_worms_};
+        if ((attempts_[lo].key & 0x10000u) != 0)
+          resolve_converting(link, group);
+        else
+          resolve_fixed(link,
+                        static_cast<Wavelength>(attempts_[lo].key & 0xffffu),
+                        group);
+        lo = hi;
+      }
     }
 
-    // 4. Re-partition the running set: drop kills, move finished heads to
-    //    the draining set.
+    // 4. Re-partition the running set: drop kills (and drains finalized
+    //    early by a truncation), move finished heads to the draining set.
     std::size_t keep = 0;
-    for (WormId id : running) {
-      Worm& worm = worms[id];
-      if (worm.status != WormStatus::Running) continue;  // killed this step
+    for (WormId id : running_) {
+      Worm& worm = worms_[id];
+      if (worm.status != WormStatus::Running) continue;
       if (worm.head_index == collection_.path(worm.path).length())
-        draining.push_back(id);
+        draining_.push_back(id);
       else
-        running[keep++] = id;
+        running_[keep++] = id;
     }
-    running.resize(keep);
+    running_.resize(keep);
 
     // 5. Finalize drained deliveries. The tail leaves the last link at
-    //    entry_last + length − 1; truncation may have pulled that earlier.
+    //    entry_last + length − 1; a truncation that pulls that below `now`
+    //    finalizes inside apply_truncation, so `done` is never stale here.
     keep = 0;
-    for (WormId id : draining) {
-      Worm& worm = worms[id];
+    for (WormId id : draining_) {
+      Worm& worm = worms_[id];
+      if (worm.status != WormStatus::Running) continue;  // finalized early
       const Path& path = collection_.path(worm.path);
       const SimTime done =
           worm.entry_time(path.length() - 1) + worm.length - 1;
       if (now >= done)
         finish_delivery(id, done);
       else
-        draining[keep++] = id;
+        draining_[keep++] = id;
     }
-    draining.resize(keep);
+    draining_.resize(keep);
 
-    // Periodic garbage collection of drained claims keeps the registry
-    // proportional to the in-flight worm count on long passes.
-    if ((now & 0x3ff) == 0) registry_.sweep(now);
+    // Incremental garbage collection of drained claims keeps the registry
+    // proportional to the in-flight worm count on long passes without the
+    // old stop-the-world scan every 1024 steps.
+    registry_.sweep_step(now, kSweepBudget);
 
     ++now;
   }
 
   // Publish per-worm outcomes and the makespan.
   for (WormId id = 0; id < count; ++id) {
-    const Worm& worm = worms[id];
+    const Worm& worm = worms_[id];
     OPTO_ASSERT(worm.status == WormStatus::Delivered ||
                 worm.status == WormStatus::Killed);
     WormOutcome& outcome = result.worms[id];
@@ -396,7 +571,11 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
     result.metrics.makespan =
         std::max(result.metrics.makespan, worm.finish_time);
   }
-  return result;
+  result.metrics.registry_probes = registry_.stats().probes;
+  result.metrics.registry_hits = registry_.stats().hits;
+  if (profile)
+    result.metrics.wall_ns =
+        static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e9);
 }
 
 }  // namespace opto

@@ -88,25 +88,47 @@ class Simulator {
   /// Simulates one forward pass of all `specs` worms to quiescence.
   PassResult run(std::span<const LaunchSpec> specs);
 
+  /// Allocation-free variant: reuses `result`'s buffers, so a driver that
+  /// keeps one PassResult across rounds (TrialAndFailure, benches) does
+  /// zero steady-state allocation. `result` is fully overwritten.
+  void run(std::span<const LaunchSpec> specs, PassResult& result);
+
   const SimConfig& config() const { return config_; }
 
  private:
   struct Attempt {
-    std::uint64_t key;  ///< (link << 16) | wavelength, for grouping
+    std::uint64_t key;  ///< (link << 17) | wavelength-or-merge, for grouping
     WormId worm;
   };
 
-  void apply_truncation(std::vector<Worm>& worms, WormId victim,
-                        std::uint32_t cut_link_index, SimTime now,
-                        PassResult& result);
+  void apply_truncation(WormId victim, std::uint32_t cut_link_index,
+                        SimTime now, PassResult& result);
 
   bool converts_at(NodeId node) const;
 
   const PathCollection& collection_;
   SimConfig config_;
   OccupancyRegistry registry_;
-  /// Per-worm wavelength history; allocated only when conversion is on.
+
+  // Pass-state scratch, hoisted so repeated run() calls reuse capacity
+  // (zero steady-state allocation across protocol rounds). All of it is
+  // reinitialized at the top of each pass.
+  std::vector<Worm> worms_;
+  std::vector<WormId> injection_order_;
+  std::vector<std::uint64_t> injection_keys_;  ///< packed (start_time, id)
+  std::vector<WormId> running_;   ///< head still has links to enter
+  std::vector<WormId> draining_;  ///< head done, tail still arriving
+  std::vector<Attempt> attempts_;             ///< wide-key fallback path
+  std::vector<std::uint64_t> attempt_keys_;   ///< packed (group key, worm)
+  std::vector<std::uint64_t> attempt_keys_scratch_;  ///< radix ping-pong
+  std::vector<WormId> group_worms_;           ///< one contention group's ids
+  std::vector<Contender> contenders_;
+  /// Per-worm wavelength history; populated only when conversion is on.
   std::vector<std::vector<Wavelength>> wavelength_history_;
+  // Converting-coupler scratch, sized to config_.bandwidth per group.
+  std::vector<std::optional<Claim>> conv_occupant_;
+  std::vector<WormId> conv_admitted_;
+  std::vector<WormId> conv_order_;
 };
 
 }  // namespace opto

@@ -8,6 +8,7 @@
 
 #include "opto/graph/graph.hpp"
 #include "opto/optical/worm.hpp"
+#include "opto/util/assert.hpp"
 
 namespace opto {
 
@@ -38,11 +39,24 @@ class Trace {
   bool enabled() const { return enabled_; }
 
   void record(const TraceEvent& event) {
-    if (enabled_) events_.push_back(event);
+    if (!enabled_) return;
+    // The simulator emits events in simulated-time order; a regression
+    // here (e.g. finalizing a truncated drain too late) silently breaks
+    // every trace consumer, so the invariant is checked on every append.
+    OPTO_ASSERT_MSG(events_.empty() || events_.back().time <= event.time,
+                    "trace events must be time-monotonic");
+    events_.push_back(event);
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear() { events_.clear(); }
+
+  /// Re-arms the trace for a fresh pass, keeping the event buffer's
+  /// capacity (pass-state reuse: no steady-state allocation).
+  void reset(bool enabled) {
+    enabled_ = enabled;
+    events_.clear();
+  }
 
   /// Human-readable one-line rendering of an event.
   static std::string describe(const TraceEvent& event);

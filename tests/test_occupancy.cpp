@@ -79,5 +79,117 @@ TEST(Occupancy, ClearEmpties) {
   EXPECT_EQ(registry.size(), 0u);
 }
 
+TEST(Occupancy, ShortenBelowEntryClampsToEntry) {
+  // A release can never retreat past the claim's entry step: the head flit
+  // occupied the link for at least that step.
+  OccupancyRegistry registry;
+  registry.claim(2, 0, make_claim(1, /*entry=*/5, /*release=*/15));
+  EXPECT_EQ(registry.shorten(2, 0, 1, /*new_release=*/2), 10);  // 15 -> 5
+  EXPECT_FALSE(registry.occupant(2, 0, 5).has_value());
+}
+
+TEST(Occupancy, DoubleShortenKeepsMinimum) {
+  OccupancyRegistry registry;
+  registry.claim(2, 0, make_claim(1, 0, 20));
+  EXPECT_EQ(registry.shorten(2, 0, 1, 8), 12);
+  // A later, shallower cut must not push the release back out.
+  EXPECT_EQ(registry.shorten(2, 0, 1, 11), 0);
+  EXPECT_TRUE(registry.occupant(2, 0, 7).has_value());
+  EXPECT_FALSE(registry.occupant(2, 0, 8).has_value());
+}
+
+TEST(Occupancy, SweepKeepsLiveClaims) {
+  OccupancyRegistry registry;
+  for (EdgeId link = 0; link < 16; ++link)
+    registry.claim(link, 0,
+                   make_claim(link, 0, link % 2 == 0 ? 5 : 50));
+  EXPECT_EQ(registry.size(), 16u);
+  registry.sweep(10);  // even links expired, odd links still streaming
+  EXPECT_EQ(registry.size(), 8u);
+  for (EdgeId link = 0; link < 16; ++link)
+    EXPECT_EQ(registry.occupant(link, 0, 10).has_value(), link % 2 == 1);
+}
+
+TEST(Occupancy, SweepStepDrainsIncrementally) {
+  OccupancyRegistry registry;
+  for (EdgeId link = 0; link < 32; ++link)
+    registry.claim(link, 0, make_claim(link, 0, 5));
+  EXPECT_EQ(registry.size(), 32u);
+  // Each call scans only `budget` slots; lapping the whole table once must
+  // have retired every expired claim.
+  const std::size_t budget = 4;
+  for (std::size_t scanned = 0; scanned < registry.capacity();
+       scanned += budget)
+    registry.sweep_step(10, budget);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Occupancy, StatsCountProbesAndHits) {
+  OccupancyRegistry registry;
+  registry.claim(3, 1, make_claim(7, 0, 10));
+  registry.reset_stats();
+  EXPECT_TRUE(registry.occupant(3, 1, 5).has_value());
+  const auto after_hit = registry.stats();
+  EXPECT_GE(after_hit.probes, 1u);
+  EXPECT_EQ(after_hit.hits, 1u);
+  EXPECT_FALSE(registry.occupant(9, 0, 5).has_value());
+  const auto after_miss = registry.stats();
+  EXPECT_GT(after_miss.probes, after_hit.probes);
+  EXPECT_EQ(after_miss.hits, 1u);
+  registry.reset_stats();
+  EXPECT_EQ(registry.stats().probes, 0u);
+  EXPECT_EQ(registry.stats().hits, 0u);
+}
+
+TEST(Occupancy, GrowthPreservesEveryLiveClaim) {
+  OccupancyRegistry registry;
+  constexpr EdgeId kLinks = 500;  // forces several doublings
+  for (EdgeId link = 0; link < kLinks; ++link)
+    registry.claim(link, link % 3, make_claim(link, 0, 1000 + link));
+  EXPECT_EQ(registry.size(), kLinks);
+  EXPECT_GE(registry.capacity(), kLinks);
+  for (EdgeId link = 0; link < kLinks; ++link) {
+    const auto occ = registry.occupant(link, link % 3, 500);
+    ASSERT_TRUE(occ.has_value()) << "link " << link;
+    EXPECT_EQ(occ->worm, link);
+    EXPECT_EQ(occ->release, static_cast<SimTime>(1000 + link));
+  }
+}
+
+TEST(Occupancy, ReclaimingSameKeyDoesNotGrowSize) {
+  OccupancyRegistry registry;
+  registry.claim(4, 0, make_claim(1, 0, 5));
+  registry.claim(4, 0, make_claim(2, 10, 20));  // expired claim overwritten
+  EXPECT_EQ(registry.size(), 1u);
+  const auto occ = registry.occupant(4, 0, 12);
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ->worm, 2u);
+}
+
+TEST(Occupancy, SweptSlotIsReusable) {
+  OccupancyRegistry registry;
+  registry.claim(4, 0, make_claim(1, 0, 5));
+  registry.sweep(10);
+  EXPECT_EQ(registry.size(), 0u);
+  registry.claim(4, 0, make_claim(2, 10, 20));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.occupant(4, 0, 15).has_value());
+}
+
+TEST(Occupancy, ClearThenReuseAcrossManyPasses) {
+  // The epoch-based O(1) clear must isolate passes from each other while
+  // reusing the same slot storage.
+  OccupancyRegistry registry;
+  for (int pass = 0; pass < 100; ++pass) {
+    registry.clear();
+    EXPECT_EQ(registry.size(), 0u);
+    EXPECT_FALSE(registry.occupant(7, 0, 1).has_value());
+    registry.claim(7, 0, make_claim(static_cast<WormId>(pass), 0, 10));
+    const auto occ = registry.occupant(7, 0, 1);
+    ASSERT_TRUE(occ.has_value());
+    EXPECT_EQ(occ->worm, static_cast<WormId>(pass));
+  }
+}
+
 }  // namespace
 }  // namespace opto

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "opto/par/parallel_for.hpp"
@@ -89,6 +90,75 @@ TEST(ParallelFor, SequentialFallbackSinglethread) {
   parallel_for(0, 5, [&order](std::size_t i) { order.push_back(int(i)); },
                &pool);
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ThrowingTaskRethrownAtWaitIdle) {
+  // Regression: a throwing task used to skip the completion bookkeeping,
+  // leaving in_flight_ stuck above zero and wait_idle() hung forever.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 10);  // the other tasks still ran
+  // The pool survives and the error is not reported twice.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, FirstErrorWinsAcrossManyThrowingTasks) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 20; ++i)
+    pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ParallelFor, ThrowingBodyPropagates) {
+  // Regression: an exception escaping the body used to strand the
+  // completion latch (the arrival was skipped), hanging the call forever.
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(
+                   0, 1000,
+                   [](std::size_t i) {
+                     if (i == 637) throw std::runtime_error("body boom");
+                   },
+                   &pool),
+               std::runtime_error);
+  // The pool itself saw only completed tasks: no error leaks into it and
+  // later work runs normally.
+  EXPECT_NO_THROW(pool.wait_idle());
+  std::atomic<int> counter{0};
+  parallel_for(0, 100, [&counter](std::size_t) { counter.fetch_add(1); },
+               &pool);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, ThrowingBodyPropagatesChunked) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for_chunked(
+                   0, 500,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 0) throw std::runtime_error("chunk boom");
+                   },
+                   &pool),
+               std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ParallelFor, ThrowingBodyPropagatesInline) {
+  // The single-thread path runs inline; the exception must surface the
+  // same way as in the pooled path.
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for(
+                   0, 10,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("inline boom");
+                   },
+                   &pool),
+               std::runtime_error);
 }
 
 }  // namespace

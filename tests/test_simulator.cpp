@@ -292,6 +292,47 @@ TEST(Simulator, LinkBusyStepsAccountTruncationTrim) {
   EXPECT_EQ(result.metrics.link_busy_steps, 8u + 16u);
 }
 
+TEST(Simulator, TruncatedDrainFinalizesMonotonically) {
+  const auto graph = make_chain(5);
+  PathCollection collection(graph);
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{0, 1, 2, 3, 4}));
+  collection.add(Path::from_nodes(*graph, std::vector<NodeId>{3, 4}));
+  SimConfig config;
+  config.rule = ContentionRule::Priority;
+  config.record_trace = true;
+  Simulator sim(collection, config);
+  // w0 (rank 1, L=10) drains from t=4 and would finish at 3 + 10 - 1 = 12.
+  // w1 (rank 2) enters link 3->4 at t=6 and cuts w0 there: the remnant is
+  // 6 - 3 = 3 flits, so w0's tail actually left the last link at
+  // 3 + 3 - 1 = 5 — already in the past. The engine must finalize w0 on
+  // the spot (finish_time 5) instead of letting the drain scan emit a
+  // Deliver event stamped before the Truncate it just recorded.
+  const auto result = sim.run(
+      std::vector<LaunchSpec>{spec(0, 0, 0, 10, 1), spec(1, 6, 0, 2, 2)});
+  EXPECT_EQ(result.worms[0].status, WormStatus::Delivered);
+  EXPECT_TRUE(result.worms[0].truncated);
+  EXPECT_FALSE(result.worms[0].delivered_intact());
+  EXPECT_EQ(result.worms[0].finish_time, 5);
+  EXPECT_TRUE(result.worms[1].delivered_intact());
+  EXPECT_EQ(result.worms[1].finish_time, 7);
+  EXPECT_EQ(result.metrics.truncated, 1u);
+  EXPECT_EQ(result.metrics.truncated_arrivals, 1u);
+  EXPECT_EQ(result.metrics.delivered, 1u);
+  EXPECT_EQ(result.metrics.killed, 0u);
+  // The trace stays time-monotonic; w0's Deliver is stamped at the cut.
+  SimTime last = 0;
+  bool saw_w0_deliver = false;
+  for (const auto& event : result.trace.events()) {
+    EXPECT_GE(event.time, last);
+    last = event.time;
+    if (event.kind == TraceKind::Deliver && event.worm == 0) {
+      saw_w0_deliver = true;
+      EXPECT_EQ(event.time, 6);
+    }
+  }
+  EXPECT_TRUE(saw_w0_deliver);
+}
+
 TEST(Simulator, LongWormBlocksWholeWindow) {
   const auto graph = make_chain(3);
   const auto collection = chain_bundle(graph, 0, 2, 2);
