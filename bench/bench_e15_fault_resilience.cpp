@@ -1,0 +1,208 @@
+// E15 — fault resilience of the Trial-and-Failure protocol.
+//
+// The protocol is inherently retry-based: a worm eliminated at a coupler
+// is simply re-launched next round. This experiment injects the physical
+// faults the paper abstracts away — dark fibers (periodic link outages),
+// failed couplers, stuck wavelengths, flit corruption, lossy ack channels
+// (sim/faults.hpp) — and measures how gracefully the protocol degrades.
+//
+// Expected shape: success rate (trials finishing within max_rounds)
+// decays monotonically as the link-fault rate rises, while
+// rounds-to-completion and charged time grow; the fault/contention loss
+// split shows the extra rounds are indeed fault-driven. The RetryPolicy
+// table quantifies the charged-time cost of bounded Δ-backoff: the fault
+// pattern re-keys every round (epoch = round number), so faults are
+// memoryless across retries and waiting longer buys nothing here —
+// backoff is insurance against *correlated* outages, priced in Δ_t.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/workloads.hpp"
+#include "opto/util/table.hpp"
+
+namespace {
+
+using namespace opto;
+
+/// Leveled workload: random permutations input->output on a butterfly.
+CollectionFactory butterfly_factory(std::uint32_t dim) {
+  return [dim](std::uint64_t seed) {
+    auto topo = std::make_shared<ButterflyTopology>(make_butterfly(dim));
+    Rng rng(seed);
+    const auto perm = random_permutation(topo->rows(), rng);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> requests;
+    for (std::uint32_t r = 0; r < topo->rows(); ++r)
+      requests.emplace_back(r, perm[r]);
+    return butterfly_io_collection(topo, requests);
+  };
+}
+
+CollectionFactory mesh_factory(std::uint32_t side) {
+  return [side](std::uint64_t seed) {
+    auto topo = std::make_shared<MeshTopology>(make_mesh({side, side}));
+    Rng rng(seed);
+    return mesh_random_function(topo, rng);
+  };
+}
+
+/// Rounds samples are success-only, so they can be empty when every trial
+/// at a fault rate fails; quantile() requires a nonempty set.
+double p95_or_zero(const SampleSet& samples) {
+  return samples.count() == 0 ? 0.0 : samples.quantile(0.95);
+}
+
+/// Shared knobs: bounded rounds so heavy-fault trials *fail* instead of
+/// retrying forever — the success-rate axis of the resilience curve.
+ProtocolConfig base_config() {
+  ProtocolConfig config;
+  config.bandwidth = 2;
+  config.worm_length = 4;
+  config.max_rounds = 16;
+  return config;
+}
+
+void resilience_curve(const std::string& title,
+                      const CollectionFactory& factory,
+                      std::uint64_t base_seed) {
+  Table table(title);
+  table.set_header({"link fault rate", "success rate", "rounds mean",
+                    "rounds p95", "charged mean", "fault losses",
+                    "contention losses"});
+  for (const double rate : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    ProtocolConfig config = base_config();
+    config.faults.link_outage_rate = rate;
+    config.faults.outage_period = 64;
+    config.faults.outage_duration = 32;
+    const auto aggregate =
+        run_trials(factory, paper_schedule_factory(config.worm_length,
+                                                   config.bandwidth),
+                   config, scaled_trials(30), base_seed);
+    table.row()
+        .cell(rate)
+        .cell(aggregate.success_rate())
+        .cell(aggregate.rounds.mean())
+        .cell(p95_or_zero(aggregate.rounds))
+        .cell(aggregate.charged_time.mean())
+        .cell(aggregate.fault_losses.mean())
+        .cell(aggregate.contention_losses.mean());
+  }
+  print_experiment_table(table);
+}
+
+}  // namespace
+
+int main() {
+  using namespace opto;
+
+  print_experiment_banner(
+      "E15: fault resilience (link/coupler outages, stuck lambdas, "
+      "corruption, lossy acks)",
+      "success rate degrades monotonically with fault rate; retries absorb "
+      "transient faults at bounded round cost");
+
+  resilience_curve("leveled (butterfly dim 6 permutations) vs link-fault rate",
+                   butterfly_factory(6), 151);
+  resilience_curve("8x8 mesh random functions vs link-fault rate",
+                   mesh_factory(8), 152);
+
+  // One fault dimension at a time, at representative severities.
+  struct Mix {
+    const char* name;
+    FaultConfig faults;
+  };
+  std::vector<Mix> mixes;
+  mixes.push_back({"none", {}});
+  {
+    FaultConfig f;
+    f.link_outage_rate = 0.3;
+    mixes.push_back({"link outages 0.3", f});
+  }
+  {
+    FaultConfig f;
+    f.coupler_outage_rate = 0.2;
+    mixes.push_back({"coupler outages 0.2", f});
+  }
+  {
+    FaultConfig f;
+    f.stuck_wavelength_rate = 0.15;
+    mixes.push_back({"stuck lambdas 0.15", f});
+  }
+  {
+    FaultConfig f;
+    f.corruption_rate = 0.05;
+    mixes.push_back({"corruption 0.05", f});
+  }
+  {
+    FaultConfig f;
+    f.ack_drop_rate = 0.25;
+    mixes.push_back({"ack drops 0.25", f});
+  }
+  {
+    FaultConfig f;
+    f.link_outage_rate = 0.2;
+    f.coupler_outage_rate = 0.1;
+    f.stuck_wavelength_rate = 0.1;
+    f.corruption_rate = 0.02;
+    f.ack_drop_rate = 0.1;
+    mixes.push_back({"all combined", f});
+  }
+  Table kinds("fault-kind ablation, 8x8 mesh");
+  kinds.set_header({"faults", "success rate", "rounds mean", "charged mean",
+                    "fault losses", "contention losses", "ack drops/trial"});
+  for (const Mix& mix : mixes) {
+    ProtocolConfig config = base_config();
+    config.max_rounds = 32;
+    config.faults = mix.faults;
+    const auto aggregate =
+        run_trials(mesh_factory(8), paper_schedule_factory(config.worm_length,
+                                                           config.bandwidth),
+                   config, scaled_trials(30), 153);
+    kinds.row()
+        .cell(mix.name)
+        .cell(aggregate.success_rate())
+        .cell(aggregate.rounds.mean())
+        .cell(aggregate.charged_time.mean())
+        .cell(aggregate.fault_losses.mean())
+        .cell(aggregate.contention_losses.mean())
+        .cell(static_cast<double>(aggregate.ack_drops) /
+              static_cast<double>(aggregate.trials));
+  }
+  print_experiment_table(kinds);
+
+  // RetryPolicy: does widening Δ_t after fault losses help? max_backoff=1
+  // disables the policy without touching anything else.
+  Table retry("RetryPolicy ablation, 8x8 mesh, link outages 0.4");
+  retry.set_header({"policy", "success rate", "rounds mean", "charged mean",
+                    "fault losses"});
+  for (const bool backoff_on : {false, true}) {
+    ProtocolConfig config = base_config();
+    config.max_rounds = 32;
+    config.faults.link_outage_rate = 0.4;
+    config.faults.outage_period = 64;
+    config.faults.outage_duration = 32;
+    if (!backoff_on) config.retry.max_backoff = 1.0;
+    const auto aggregate =
+        run_trials(mesh_factory(8), paper_schedule_factory(config.worm_length,
+                                                           config.bandwidth),
+                   config, scaled_trials(30), 154);
+    retry.row()
+        .cell(backoff_on ? "backoff x2 capped 16" : "no backoff")
+        .cell(aggregate.success_rate())
+        .cell(aggregate.rounds.mean())
+        .cell(aggregate.charged_time.mean())
+        .cell(aggregate.fault_losses.mean());
+  }
+  print_experiment_table(retry);
+
+  std::cout << "Expected shape: success rate decays monotonically with the"
+               " link-fault rate while\nfault losses take over from"
+               " contention losses. Faults re-key per round, so the\n"
+               "Δ-backoff cannot dodge them — its table prices the charged-"
+               "time premium of that\ninsurance under memoryless faults.\n";
+  return 0;
+}

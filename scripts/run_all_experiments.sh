@@ -5,7 +5,11 @@
 #
 # results-dir defaults to ./results, repro-scale to 1 (see REPRO_SCALE in
 # EXPERIMENTS.md). Build first: cmake -B build -G Ninja && cmake --build build
-set -euo pipefail
+#
+# A failing bench does not abort the sweep: every binary runs, failures are
+# collected, a final PASS/FAIL summary is printed, and the exit status is
+# non-zero iff any bench failed (so CI smoke jobs fail loudly).
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 RESULTS="${1:-results}"
@@ -17,21 +21,45 @@ if [ ! -d build/bench ]; then
   exit 1
 fi
 
+declare -a passed=()
+declare -a failed=()
+
+run_bench() {
+  # run_bench <name> <command...>: tee output, record pass/fail. `tee`
+  # masks the bench's exit status, so take it from PIPESTATUS.
+  local name="$1"
+  shift
+  echo "== $name =="
+  "$@" | tee "$RESULTS/$name.txt"
+  local status="${PIPESTATUS[0]}"
+  if [ "$status" -eq 0 ]; then
+    passed+=("$name")
+  else
+    echo "!! $name exited with status $status" >&2
+    failed+=("$name")
+  fi
+}
+
 for bench in build/bench/bench_*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   case "$name" in
     bench_perf_*) continue ;;  # micro-benchmarks run separately
   esac
-  echo "== $name =="
   REPRO_SCALE="$SCALE" OPTO_RESULTS_DIR="$RESULTS" \
-    "$bench" | tee "$RESULTS/$name.txt"
+    run_bench "$name" "$bench"
 done
 
 echo
 echo "micro-benchmarks:"
-build/bench/bench_perf_simulator --benchmark_min_time=0.1 \
-  | tee "$RESULTS/bench_perf_simulator.txt"
+run_bench bench_perf_simulator \
+  build/bench/bench_perf_simulator --benchmark_min_time=0.1
 
 echo
 echo "all outputs under $RESULTS/"
+echo "summary: ${#passed[@]} passed, ${#failed[@]} failed"
+if [ "${#failed[@]}" -gt 0 ]; then
+  printf 'FAIL: %s\n' "${failed[@]}"
+  exit 1
+fi
+echo "PASS: all experiments completed"

@@ -31,6 +31,18 @@ TrialAggregate run_trials(const CollectionFactory& factory,
       TrialAndFailure protocol(collection, config, *schedule);
       const ProtocolResult result = protocol.run(seed ^ 0xabcdef);
 
+      // Loss accounting covers every trial — failed ones especially, since
+      // under fault injection the failures are the interesting signal.
+      std::uint64_t fault_losses = 0;
+      std::uint64_t contention_losses = 0;
+      for (const RoundReport& round : result.rounds) {
+        fault_losses += round.fault_losses;
+        contention_losses += round.contention_losses;
+        local.ack_drops += round.ack_drops;
+      }
+      local.fault_losses.add(static_cast<double>(fault_losses));
+      local.contention_losses.add(static_cast<double>(contention_losses));
+
       if (!result.success) {
         ++local.failures;
         continue;
@@ -49,9 +61,13 @@ TrialAggregate run_trials(const CollectionFactory& factory,
     aggregate.actual_time.merge(local.actual_time);
     aggregate.path_congestion.merge(local.path_congestion);
     aggregate.dilation.merge(local.dilation);
+    aggregate.fault_losses.merge(local.fault_losses);
+    aggregate.contention_losses.merge(local.contention_losses);
+    aggregate.ack_drops += local.ack_drops;
     aggregate.failures += local.failures;
     aggregate.duplicates += local.duplicates;
   });
+  aggregate.trials = trials;
   return aggregate;
 }
 

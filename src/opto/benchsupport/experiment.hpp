@@ -35,8 +35,23 @@ struct TrialAggregate {
   SampleSet actual_time;     ///< Σ per-round makespans
   SampleSet path_congestion; ///< measured C̃ per trial
   SampleSet dilation;
+  /// Loss split under fault injection, summed over every round of a trial
+  /// (failed trials included — a trial killed by faults still reports its
+  /// losses). Zero-fault runs add all-zero samples.
+  SampleSet fault_losses;       ///< fault kills + corrupted arrivals
+  SampleSet contention_losses;  ///< contention kills + truncated arrivals
+  std::uint64_t ack_drops = 0;  ///< acks lost to the fault plan, all trials
   std::uint32_t failures = 0;  ///< trials hitting max_rounds
   std::uint64_t duplicates = 0;
+  std::size_t trials = 0;      ///< total trials run (failures included)
+
+  /// Fraction of trials that routed everything within max_rounds.
+  double success_rate() const {
+    return trials == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(failures) /
+                           static_cast<double>(trials);
+  }
 };
 
 /// Runs `trials` protocol executions in parallel and aggregates.

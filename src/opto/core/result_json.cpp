@@ -38,6 +38,14 @@ void write_result_json(std::ostream& os, const ProtocolResult& result) {
     json.value(static_cast<std::uint64_t>(report.acknowledged));
     json.key("duplicates");
     json.value(static_cast<std::uint64_t>(report.duplicates));
+    json.key("fault_losses");
+    json.value(static_cast<std::uint64_t>(report.fault_losses));
+    json.key("contention_losses");
+    json.value(static_cast<std::uint64_t>(report.contention_losses));
+    json.key("ack_drops");
+    json.value(static_cast<std::uint64_t>(report.ack_drops));
+    json.key("backoff");
+    json.value(report.backoff);
     json.key("charged_time");
     json.value(static_cast<std::int64_t>(report.charged_time));
     json.key("forward_makespan");
@@ -56,6 +64,12 @@ void write_result_json(std::ostream& os, const ProtocolResult& result) {
     json.value(report.forward.contentions);
     json.key("retunes");
     json.value(report.forward.retunes);
+    json.key("fault_kills");
+    json.value(report.forward.fault_kills);
+    json.key("corrupted");
+    json.value(report.forward.corrupted);
+    json.key("corrupted_arrivals");
+    json.value(report.forward.corrupted_arrivals);
     json.key("worm_steps");
     json.value(report.forward.worm_steps);
     json.key("link_busy_steps");

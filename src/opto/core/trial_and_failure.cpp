@@ -1,6 +1,7 @@
 #include "opto/core/trial_and_failure.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <optional>
 
@@ -22,6 +23,10 @@ TrialAndFailure::TrialAndFailure(const PathCollection& collection,
   OPTO_ASSERT(config_.bandwidth >= 1);
   OPTO_ASSERT(config_.worm_length >= 1);
   OPTO_ASSERT(config_.max_rounds >= 1);
+  OPTO_ASSERT_MSG(config_.retry.growth >= 1.0 &&
+                      config_.retry.max_backoff >= 1.0 &&
+                      config_.retry.decay > 0.0 && config_.retry.decay <= 1.0,
+                  "RetryPolicy: growth/max_backoff >= 1, decay in (0, 1]");
 }
 
 const PathCollection& TrialAndFailure::ensure_reverse_collection() {
@@ -55,12 +60,23 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
   std::vector<PathId> active(collection_.size());
   std::iota(active.begin(), active.end(), 0u);
 
+  // The fault plan is keyed by the run seed and re-keyed each round
+  // (fault_epoch = round), so fault decisions replay bit-identically and
+  // never consume from the protocol's RNG streams. Both simulators share
+  // the plan: acks route through the same faulted network.
+  FaultPlan fault_plan(config_.faults, seed);
+  const bool faults_on = fault_plan.enabled();
+  // Cumulative RetryPolicy multiplier on Δ_t; stays exactly 1.0 (and
+  // leaves Δ_t untouched) until a round loses worms to faults.
+  double backoff = 1.0;
+
   SimConfig sim_config;
   sim_config.rule = config_.rule;
   sim_config.tie = config_.tie;
   sim_config.bandwidth = config_.bandwidth;
   sim_config.conversion = config_.conversion;
   sim_config.converters = config_.converters;
+  sim_config.faults = &fault_plan;
   Simulator forward_sim(collection_, sim_config);
   // The ack simulator and every per-round buffer live outside the round
   // loop: together with the simulator's own pass-state reuse this makes
@@ -79,12 +95,20 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
   for (std::uint32_t round = 1;
        round <= config_.max_rounds && !active.empty(); ++round) {
     Rng rng = Rng::stream(seed, round);
-    const SimTime delta = schedule_.delta(round);
+    fault_plan.set_epoch(round);
+    SimTime delta = schedule_.delta(round);
     OPTO_ASSERT(delta >= 1);
+    // Widen the startup-delay window by the fault backoff. backoff == 1.0
+    // exactly when no fault loss has occurred, keeping Δ_t bit-identical
+    // to the fault-free run.
+    if (backoff > 1.0)
+      delta = static_cast<SimTime>(
+          std::llround(static_cast<double>(delta) * backoff));
 
     RoundReport report;
     report.round = round;
     report.delta = delta;
+    report.backoff = backoff;
     report.active_before = static_cast<std::uint32_t>(active.size());
     report.charged_time =
         delta + 2 * static_cast<SimTime>(dilation_ + config_.worm_length);
@@ -110,16 +134,29 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
     forward_sim.run(specs, forward);
     report.forward = forward.metrics;
     report.forward_makespan = forward.metrics.makespan;
+    report.fault_losses = static_cast<std::uint32_t>(
+        forward.metrics.fault_kills + forward.metrics.corrupted_arrivals);
+    report.contention_losses = static_cast<std::uint32_t>(
+        forward.metrics.killed + forward.metrics.truncated_arrivals);
     if (config_.keep_round_outcomes) {
       report.launched = active;
       report.outcomes = forward.worms;
     }
 
     // Determine which deliveries get acknowledged.
+    // A lossy ack channel (fault plan) can swallow the acknowledgement of
+    // a successful delivery in either mode: the sender re-sends next
+    // round (a duplicate delivery), exactly like a lost simulated ack.
+    const auto ack_dropped = [&](std::size_t i) {
+      if (!faults_on || !fault_plan.drops_ack(active[i])) return false;
+      ++report.ack_drops;
+      return true;
+    };
     acked.assign(active.size(), 0);
     if (config_.ack_mode == AckMode::Ideal) {
       for (std::size_t i = 0; i < active.size(); ++i)
-        acked[i] = forward.worms[i].delivered_intact() ? 1 : 0;
+        acked[i] =
+            forward.worms[i].delivered_intact() && !ack_dropped(i) ? 1 : 0;
     } else {
       // Simulated acks: 1..ack_length flits back along the reverse path in
       // a separate band of B wavelengths, launched right after delivery.
@@ -140,7 +177,8 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
       ack_sim->run(ack_specs, ack_pass);
       report.ack_makespan = ack_pass.metrics.makespan;
       for (std::size_t j = 0; j < ack_specs.size(); ++j)
-        if (ack_pass.worms[j].delivered_intact()) acked[ack_owner[j]] = 1;
+        if (ack_pass.worms[j].delivered_intact() && !ack_dropped(ack_owner[j]))
+          acked[ack_owner[j]] = 1;
     }
 
     // Bookkeeping + retirement of acknowledged worms.
@@ -164,6 +202,14 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
     result.total_actual_time +=
         std::max(report.forward_makespan, report.ack_makespan) + 1;
     schedule_.observe(report.active_before, report.acknowledged);
+    // RetryPolicy: widen the next window after fault-caused losses (lost
+    // acks included — the sender cannot tell them apart), relax toward
+    // the schedule's Δ_t after clean rounds.
+    if (report.fault_losses > 0 || report.ack_drops > 0)
+      backoff =
+          std::min(backoff * config_.retry.growth, config_.retry.max_backoff);
+    else
+      backoff = std::max(1.0, backoff * config_.retry.decay);
     result.rounds.push_back(report);
     result.rounds_used = round;
   }

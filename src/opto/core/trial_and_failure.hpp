@@ -30,6 +30,22 @@ enum class AckMode : std::uint8_t { Ideal, Simulated };
 
 const char* to_string(AckMode mode);
 
+/// Bounded exponential backoff on the startup-delay window Δ_t. After a
+/// round that lost worms to *faults* (not contention — the Δ-schedule
+/// already handles contention), the next round's window is widened by the
+/// cumulative backoff multiplier: retrying into a dark link at the same
+/// cadence just re-kills the worm, so spreading the retries out both
+/// de-phases them from periodic outages and keeps the re-sent population
+/// from re-contending at full density. The multiplier grows by
+/// `growth` per faulty round, is capped at `max_backoff`, and relaxes by
+/// `decay` after every clean round. With no faults injected the
+/// multiplier stays exactly 1.0 and Δ_t is untouched (bit-identical runs).
+struct RetryPolicy {
+  double growth = 2.0;       ///< multiplier applied after a faulty round
+  double decay = 0.5;        ///< relaxation factor after a clean round
+  double max_backoff = 16.0; ///< cap on the cumulative multiplier
+};
+
 struct ProtocolConfig {
   ContentionRule rule = ContentionRule::ServeFirst;
   TiePolicy tie = TiePolicy::KillAll;
@@ -48,15 +64,28 @@ struct ProtocolConfig {
   /// Retain each round's launch set and per-worm outcomes (needed by the
   /// witness-tree builder in opto/analysis; costs memory per round).
   bool keep_round_outcomes = false;
+  /// Fault injection (sim/faults.hpp). The plan is derived from the run
+  /// seed and re-keyed every round (fault_epoch = round number), so a run
+  /// replays bit-identically. Zero rates (the default) inject nothing.
+  FaultConfig faults;
+  /// Δ_t backoff applied after fault-caused losses; inert without faults.
+  RetryPolicy retry;
 };
 
 struct RoundReport {
   std::uint32_t round = 0;          ///< 1-based
-  SimTime delta = 0;                ///< Δ_t used
+  SimTime delta = 0;                ///< Δ_t used (backoff already applied)
   std::uint32_t active_before = 0;
   std::uint32_t delivered = 0;      ///< intact deliveries this round
   std::uint32_t acknowledged = 0;   ///< deliveries whose ack returned
   std::uint32_t duplicates = 0;     ///< delivered but ack lost (will retry)
+  /// Fault vs contention loss split for this round's forward pass:
+  /// fault_losses = fault kills + corrupted arrivals; contention_losses =
+  /// contention kills + truncated arrivals.
+  std::uint32_t fault_losses = 0;
+  std::uint32_t contention_losses = 0;
+  std::uint32_t ack_drops = 0;      ///< acks lost to the fault plan
+  double backoff = 1.0;             ///< RetryPolicy multiplier in effect
   SimTime charged_time = 0;         ///< Δ_t + 2(D+L)
   SimTime forward_makespan = 0;
   SimTime ack_makespan = 0;

@@ -37,6 +37,8 @@ struct Worm {
   std::uint32_t head_index = 0;     ///< links already entered
   WormStatus status = WormStatus::Waiting;
   bool truncated = false;           ///< lost flits to a priority collision
+  bool corrupted = false;           ///< payload corrupted by an injected fault
+  bool fault_killed = false;        ///< eliminated by a fault, not contention
   std::uint32_t blocked_at_link = 0;  ///< path position of the fatal block
   SimTime finish_time = -1;         ///< delivery/kill completion time
 
@@ -51,9 +53,10 @@ struct Worm {
 
   /// Whether the delivery counts as a success: a truncated worm reaching
   /// its destination is an incomplete message and must retry (§1.3: worms
-  /// may be "only partly discarded" and still fail).
+  /// may be "only partly discarded" and still fail); a corrupted payload
+  /// is rejected by the destination the same way.
   bool delivered_intact() const {
-    return status == WormStatus::Delivered && !truncated;
+    return status == WormStatus::Delivered && !truncated && !corrupted;
   }
 };
 

@@ -1,0 +1,86 @@
+#include "opto/sim/faults.hpp"
+
+#include "opto/rng/splitmix64.hpp"
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+FaultPlan::FaultPlan(const FaultConfig& config, std::uint64_t base_seed)
+    : config_(config), base_seed_(base_seed) {
+  const auto check_rate = [](double rate) {
+    OPTO_ASSERT_MSG(rate >= 0.0 && rate <= 1.0,
+                    "fault rates are probabilities in [0, 1]");
+  };
+  check_rate(config_.link_outage_rate);
+  check_rate(config_.coupler_outage_rate);
+  check_rate(config_.stuck_wavelength_rate);
+  check_rate(config_.corruption_rate);
+  check_rate(config_.ack_drop_rate);
+  OPTO_ASSERT_MSG(config_.outage_period >= 1, "outage period must be >= 1");
+  OPTO_ASSERT_MSG(config_.outage_duration >= 0 &&
+                      config_.outage_duration <= config_.outage_period,
+                  "outage duration must fit inside the period");
+  enabled_ = config_.any_fault();
+  set_epoch(0);
+}
+
+void FaultPlan::set_epoch(std::uint64_t epoch) {
+  epoch_ = epoch;
+  // Two mixing rounds so nearby (seed, epoch) pairs land in unrelated
+  // parts of the key space (same construction as Rng::stream).
+  epoch_key_ = splitmix64_once(
+      base_seed_ ^ splitmix64_once(epoch + 0x6a09e667f3bcc909ull));
+}
+
+std::uint64_t FaultPlan::mix(std::uint64_t domain, std::uint64_t a,
+                             std::uint64_t b) const {
+  SplitMix64 gen(epoch_key_ ^ (domain * 0x9e3779b97f4a7c15ull));
+  const std::uint64_t h = gen.next() ^ (a * 0xbf58476d1ce4e5b9ull);
+  return splitmix64_once(h ^ (b * 0x94d049bb133111ebull));
+}
+
+double FaultPlan::uniform(std::uint64_t domain, std::uint64_t a,
+                          std::uint64_t b) const {
+  // 53 high bits -> [0, 1); bit-stable across platforms (IEEE double).
+  return static_cast<double>(mix(domain, a, b) >> 11) * 0x1.0p-53;
+}
+
+bool FaultPlan::outage_down(std::uint64_t faulty_domain,
+                            std::uint64_t phase_domain, std::uint64_t entity,
+                            double rate, SimTime now) const {
+  if (rate <= 0.0 || config_.outage_duration <= 0) return false;
+  if (uniform(faulty_domain, entity) >= rate) return false;
+  OPTO_DASSERT(now >= 0);
+  const auto period = static_cast<std::uint64_t>(config_.outage_period);
+  const std::uint64_t phase = mix(phase_domain, entity, 0) % period;
+  const std::uint64_t position =
+      (static_cast<std::uint64_t>(now) + phase) % period;
+  return position < static_cast<std::uint64_t>(config_.outage_duration);
+}
+
+bool FaultPlan::link_down(EdgeId link, SimTime now) const {
+  return outage_down(kLinkFaulty, kLinkPhase, link, config_.link_outage_rate,
+                     now);
+}
+
+bool FaultPlan::coupler_down(NodeId node, SimTime now) const {
+  return outage_down(kCouplerFaulty, kCouplerPhase, node,
+                     config_.coupler_outage_rate, now);
+}
+
+bool FaultPlan::wavelength_stuck(EdgeId link, Wavelength wavelength) const {
+  if (config_.stuck_wavelength_rate <= 0.0) return false;
+  return uniform(kStuck, link, wavelength) < config_.stuck_wavelength_rate;
+}
+
+bool FaultPlan::corrupts_flit(WormId worm, EdgeId link) const {
+  if (config_.corruption_rate <= 0.0) return false;
+  return uniform(kCorrupt, worm, link) < config_.corruption_rate;
+}
+
+bool FaultPlan::drops_ack(PathId path) const {
+  if (config_.ack_drop_rate <= 0.0) return false;
+  return uniform(kAckDrop, path) < config_.ack_drop_rate;
+}
+
+}  // namespace opto

@@ -12,6 +12,9 @@ void PassMetrics::merge(const PassMetrics& other) {
   truncated_arrivals += other.truncated_arrivals;
   contentions += other.contentions;
   retunes += other.retunes;
+  fault_kills += other.fault_kills;
+  corrupted += other.corrupted;
+  corrupted_arrivals += other.corrupted_arrivals;
   makespan = std::max(makespan, other.makespan);
   worm_steps += other.worm_steps;
   link_busy_steps += other.link_busy_steps;

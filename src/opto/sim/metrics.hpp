@@ -20,6 +20,13 @@ struct PassMetrics {
   /// entrant that found its preferred wavelength taken.
   std::uint64_t contentions = 0;
   std::uint64_t retunes = 0;     ///< wavelength conversions performed
+  /// Fault-injection accounting (see sim/faults.hpp) — kept separate from
+  /// `killed` so contention losses and physical-fault losses are
+  /// distinguishable all the way up to the result JSON.
+  std::uint64_t fault_kills = 0;  ///< eliminated by a dark link, failed
+                                  ///< coupler, or stuck wavelength
+  std::uint64_t corrupted = 0;    ///< flit-corruption events
+  std::uint64_t corrupted_arrivals = 0;  ///< deliveries voided by corruption
   SimTime makespan = 0;          ///< last event time of the pass
   std::uint64_t worm_steps = 0;  ///< total link entries (engine throughput)
   /// Total (link, step) slots occupied by flits — admissions minus what

@@ -151,6 +151,26 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
   result.worms.assign(count, WormOutcome{});
   registry_.clear();
   registry_.reset_stats();
+  // Fault injection (sim/faults.hpp). A null or zero-fault plan keeps
+  // every branch below dead, so the fault-free engine is untouched.
+  const FaultPlan* plan = config_.faults;
+  const bool faults_on = plan != nullptr && plan->enabled();
+  if (faults_on && plan->has_stuck_wavelengths()) {
+    // A stuck wavelength is modelled as a permanent occupant: a sentinel
+    // claim (worm = kInvalidWorm, top priority, never released) that the
+    // contention resolvers treat as an unbeatable blocker. Serve-first
+    // entrants are eliminated; priority entrants cannot truncate it;
+    // converting routers see the wavelength as busy and retune around it.
+    Claim stuck;
+    stuck.worm = kInvalidWorm;
+    stuck.priority = std::numeric_limits<std::uint32_t>::max();
+    stuck.entry = 0;
+    stuck.release = std::numeric_limits<SimTime>::max();
+    const EdgeId links = collection_.graph().link_count();
+    for (EdgeId link = 0; link < links; ++link)
+      for (Wavelength w = 0; w < config_.bandwidth; ++w)
+        if (plan->wavelength_stuck(link, w)) registry_.claim(link, w, stuck);
+  }
   const bool convert = config_.conversion != ConversionMode::None;
   if (convert) {
     if (wavelength_history_.size() < count) wavelength_history_.resize(count);
@@ -244,10 +264,26 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     worm.finish_time = t;
     if (worm.truncated)
       ++result.metrics.truncated_arrivals;
+    else if (worm.corrupted)
+      ++result.metrics.corrupted_arrivals;
     else
       ++result.metrics.delivered;
     result.trace.record(
         {t, TraceKind::Deliver, id, kInvalidEdge, worm.wavelength, kInvalidWorm});
+  };
+
+  /// Elimination by an injected fault — same mechanics as a serve-first
+  /// loss (upstream flits drain, their occupancy stands), but accounted
+  /// separately and witness-free: no worm caused it.
+  const auto fault_kill = [&](WormId id, EdgeId link, SimTime t) {
+    Worm& worm = worms_[id];
+    worm.status = WormStatus::Killed;
+    worm.fault_killed = true;
+    worm.blocked_at_link = worm.head_index;
+    worm.finish_time = t;
+    ++result.metrics.fault_kills;
+    result.trace.record(
+        {t, TraceKind::FaultKill, id, link, worm.wavelength, kInvalidWorm});
   };
 
   /// Admits `id` onto `link` at wavelength `wl` (its head enters now).
@@ -267,6 +303,13 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     result.trace.record({now, retuned ? TraceKind::Retune : TraceKind::Admit,
                          id, link, wl, kInvalidWorm});
     if (retuned) ++result.metrics.retunes;
+    // Flit corruption: the worm keeps travelling (and occupying links) but
+    // its payload is void — the destination will reject the delivery.
+    if (faults_on && !worm.corrupted && plan->corrupts_flit(id, link)) {
+      worm.corrupted = true;
+      ++result.metrics.corrupted;
+      result.trace.record({now, TraceKind::Corrupt, id, link, wl, kInvalidWorm});
+    }
     ++worm.head_index;
     ++result.metrics.worm_steps;
     result.metrics.link_busy_steps += worm.length;
@@ -276,6 +319,13 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
   const auto resolve_fixed = [&](EdgeId link, Wavelength wl,
                                  std::span<const WormId> group) {
     const Claim* found = registry_.find(link, wl, now);
+
+    // A stuck wavelength's sentinel claim blocks every entrant: a fault
+    // loss, not a contention event (there is no worm to blame).
+    if (found != nullptr && found->worm == kInvalidWorm) {
+      for (const WormId entrant : group) fault_kill(entrant, link, now);
+      return;
+    }
 
     // Uncontended fast path: one entrant, free link — the dominant case on
     // sparse workloads. Skips the contender build and the resolver (which
@@ -399,11 +449,16 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
           }
         }
       }
-      // Eliminated: witness is whoever holds the preferred wavelength.
+      // Eliminated: witness is whoever holds the preferred wavelength. A
+      // stuck wavelength's sentinel (worm = kInvalidWorm) has no worm to
+      // blame — that elimination is a fault loss.
       const WormId blocker = conv_occupant_[preferred].has_value()
                                  ? conv_occupant_[preferred]->worm
                                  : conv_admitted_[preferred];
-      finish_kill(id, now, blocker);
+      if (blocker == kInvalidWorm)
+        fault_kill(id, link, now);
+      else
+        finish_kill(id, now, blocker);
     }
   };
 
@@ -448,6 +503,13 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     //    loop in the engine — runs over flat PODs instead of chasing a
     //    two-field comparator; wider graphs take the fallback below.
     // 3. Resolve contention groups in ascending (key, worm) order.
+    // A worm whose next link is dark — or whose feeding coupler is down —
+    // is eliminated before it can contend, exactly like a serve-first
+    // loss: its upstream flits drain and their occupancy stands.
+    const auto fault_blocks_entry = [&](EdgeId link) {
+      return plan->link_down(link, now) ||
+             plan->coupler_down(collection_.graph().source(link), now);
+    };
     if (packed_attempts) {
       attempt_keys_.clear();
       for (WormId id : running_) {
@@ -455,6 +517,10 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
         OPTO_DASSERT(worm.status == WormStatus::Running);
         OPTO_DASSERT(worm.entry_time(worm.head_index) == now);
         const EdgeId link = collection_.path(worm.path).link(worm.head_index);
+        if (faults_on && fault_blocks_entry(link)) {
+          fault_kill(id, link, now);
+          continue;
+        }
         const bool merge_wavelengths =
             convert && converts_at(collection_.graph().source(link));
         const std::uint32_t key =
@@ -492,6 +558,10 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
         OPTO_DASSERT(worm.status == WormStatus::Running);
         OPTO_DASSERT(worm.entry_time(worm.head_index) == now);
         const EdgeId link = collection_.path(worm.path).link(worm.head_index);
+        if (faults_on && fault_blocks_entry(link)) {
+          fault_kill(id, link, now);
+          continue;
+        }
         const bool merge_wavelengths =
             convert && converts_at(collection_.graph().source(link));
         const std::uint64_t key =
@@ -566,6 +636,13 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     WormOutcome& outcome = result.worms[id];
     outcome.status = worm.status;
     outcome.truncated = worm.truncated;
+    outcome.corrupted = worm.corrupted;
+    // Attribution mirrors finish_delivery's precedence: a truncated-and-
+    // corrupted arrival already failed to contention before the fault
+    // could matter.
+    outcome.fault_loss =
+        worm.fault_killed || (worm.status == WormStatus::Delivered &&
+                              worm.corrupted && !worm.truncated);
     outcome.finish_time = worm.finish_time;
     outcome.blocked_at_link = worm.blocked_at_link;
     result.metrics.makespan =

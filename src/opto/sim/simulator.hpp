@@ -27,6 +27,7 @@
 #include "opto/optical/coupler.hpp"
 #include "opto/optical/worm.hpp"
 #include "opto/paths/path_collection.hpp"
+#include "opto/sim/faults.hpp"
 #include "opto/sim/metrics.hpp"
 #include "opto/sim/occupancy.hpp"
 #include "opto/sim/trace.hpp"
@@ -51,6 +52,10 @@ struct SimConfig {
   /// Sparse mode (Full converts everywhere). The coupler feeding link e
   /// sits at source(e), so that node's flag governs retunes onto e.
   std::vector<char> converters;
+  /// Optional fault-injection plan (sim/faults.hpp); must outlive the
+  /// simulator. Null — or a disabled zero-fault plan — leaves every code
+  /// path and outcome bit-identical to the fault-free engine.
+  const FaultPlan* faults = nullptr;
 };
 
 /// Launch parameters for one worm (chosen by the protocol layer).
@@ -65,12 +70,19 @@ struct LaunchSpec {
 struct WormOutcome {
   WormStatus status = WormStatus::Waiting;
   bool truncated = false;
+  bool corrupted = false;             ///< payload voided by a fault
+  /// The worm failed because of an injected fault: fault-killed en route,
+  /// or delivered with a corrupted payload. Contention losses keep this
+  /// false — the protocol's RetryPolicy backs off only on fault losses.
+  bool fault_loss = false;
   SimTime finish_time = -1;           ///< delivery completion / kill step
   std::uint32_t blocked_at_link = 0;  ///< path position of a fatal block
   WormId blocked_by = kInvalidWorm;   ///< the witnessing blocker, if killed
+                                      ///< by contention (fault kills have
+                                      ///< no witness)
 
   bool delivered_intact() const {
-    return status == WormStatus::Delivered && !truncated;
+    return status == WormStatus::Delivered && !truncated && !corrupted;
   }
 };
 

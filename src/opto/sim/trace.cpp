@@ -18,6 +18,10 @@ const char* to_string(TraceKind kind) {
       return "truncate";
     case TraceKind::Deliver:
       return "deliver";
+    case TraceKind::FaultKill:
+      return "fault-kill";
+    case TraceKind::Corrupt:
+      return "corrupt";
   }
   return "?";
 }

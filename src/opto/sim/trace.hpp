@@ -19,6 +19,8 @@ enum class TraceKind : std::uint8_t {
   Kill,      ///< worm eliminated at a coupler
   Truncate,  ///< occupant cut by a higher-priority entrant
   Deliver,   ///< tail fully arrived at the destination
+  FaultKill, ///< eliminated by a fault (dark link / coupler / stuck λ)
+  Corrupt,   ///< payload corrupted while entering a link
 };
 
 const char* to_string(TraceKind kind);
