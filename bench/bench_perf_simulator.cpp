@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "opto/obs/bench_record.hpp"
 #include "opto/graph/butterfly.hpp"
 #include "opto/graph/mesh.hpp"
 #include "opto/paths/lowerbound_structures.hpp"
@@ -145,3 +146,15 @@ void BM_MeshWorkloadBuild(benchmark::State& state) {
 BENCHMARK(BM_MeshWorkloadBuild)->Arg(16)->Arg(64);
 
 }  // namespace
+
+// Custom main (instead of benchmark::benchmark_main) so the obs
+// counters accumulated across all benchmark iterations land in a
+// BenchRecord alongside the experiment benches' records.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  opto::obs::write_bench_record_file("perf-simulator");
+  return 0;
+}

@@ -52,7 +52,7 @@ done
 
 echo
 echo "micro-benchmarks:"
-run_bench bench_perf_simulator \
+OPTO_RESULTS_DIR="$RESULTS" run_bench bench_perf_simulator \
   build/bench/bench_perf_simulator --benchmark_min_time=0.1
 
 echo

@@ -65,13 +65,18 @@ ScheduleFactory paper_schedule_factory(std::uint32_t worm_length,
                                        std::uint16_t bandwidth,
                                        PaperSchedule::Constants constants = {});
 
-/// REPRO_SCALE env var (default 1.0), clamped to [0.05, 100].
+/// REPRO_SCALE env var (default 1.0), clamped to [0.05, 100]. A set but
+/// unparseable or non-positive value is a hard error (exit 2): silently
+/// running at a default or zero scale produces data that looks real.
 double repro_scale();
 
 /// max(1, round(base * repro_scale())).
 std::size_t scaled_trials(std::size_t base);
 
-/// Standard experiment header printed by every bench binary.
+/// Standard experiment header printed by every bench binary. Also
+/// registers the bench with the observability layer: on clean exit the
+/// process writes a BenchRecord JSON (obs/bench_record.hpp) into
+/// OPTO_RESULTS_DIR, keyed by the slug of `id`.
 void print_experiment_banner(const std::string& id, const std::string& claim);
 
 /// Prints the table to stdout and — when OPTO_RESULTS_DIR is set —

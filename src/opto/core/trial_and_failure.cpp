@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "opto/obs/obs.hpp"
 #include "opto/util/assert.hpp"
 
 namespace opto {
@@ -53,7 +54,44 @@ std::uint32_t active_path_congestion(const PathCollection& collection,
 
 }  // namespace
 
+namespace {
+
+/// Protocol-level obs: run/round totals and the fault-vs-contention loss
+/// split, recorded once per run (see obs/bench_record.hpp for how these
+/// surface in the BenchRecord metrics).
+struct ProtocolObsCounters {
+  obs::Counter runs{"protocol.runs"};
+  obs::Counter failures{"protocol.failures"};
+  obs::Counter rounds{"protocol.rounds"};
+  obs::Counter fault_losses{"protocol.fault_losses"};
+  obs::Counter contention_losses{"protocol.contention_losses"};
+  obs::Counter ack_drops{"protocol.ack_drops"};
+  obs::Counter duplicates{"protocol.duplicates"};
+};
+
+void record_run_observation(const ProtocolResult& result) {
+  static ProtocolObsCounters counters;
+  counters.runs.add(1);
+  if (!result.success) counters.failures.add(1);
+  counters.rounds.add(result.rounds_used);
+  std::uint64_t fault_losses = 0;
+  std::uint64_t contention_losses = 0;
+  std::uint64_t ack_drops = 0;
+  for (const RoundReport& round : result.rounds) {
+    fault_losses += round.fault_losses;
+    contention_losses += round.contention_losses;
+    ack_drops += round.ack_drops;
+  }
+  counters.fault_losses.add(fault_losses);
+  counters.contention_losses.add(contention_losses);
+  counters.ack_drops.add(ack_drops);
+  counters.duplicates.add(result.duplicate_deliveries);
+}
+
+}  // namespace
+
 ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
+  const obs::ScopedTimer obs_timer("protocol.run");
   ProtocolResult result;
   result.completion_round.assign(collection_.size(), 0);
 
@@ -215,6 +253,7 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
   }
 
   result.success = active.empty();
+  if (obs::enabled()) record_run_observation(result);
   return result;
 }
 

@@ -1,0 +1,281 @@
+#include "opto/obs/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "opto/obs/bench_record.hpp"
+
+namespace opto::obs {
+
+namespace {
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool is_timing_metric(std::string_view name) {
+  return ends_with(name, "_per_s") || name == "wall_s" ||
+         name.find("wall_ns") != std::string_view::npos ||
+         ends_with(name, "_ns");
+}
+
+/// (label, record) pairs from a single record or a suite roll-up.
+std::vector<std::pair<std::string, const JsonValue*>> collect_records(
+    const JsonValue& document) {
+  std::vector<std::pair<std::string, const JsonValue*>> out;
+  const std::string schema = document.string_at("schema");
+  if (schema == kBenchRecordSchema) {
+    out.emplace_back(document.string_at("label", "unnamed"), &document);
+  } else if (schema == kBenchSuiteSchema) {
+    if (const JsonValue* records = document.find("records");
+        records != nullptr && records->is_array()) {
+      for (const JsonValue& record : records->items)
+        out.emplace_back(record.string_at("label", "unnamed"), &record);
+    }
+  }
+  return out;
+}
+
+/// current/baseline with > 1 always meaning "got better"; guards zeros.
+double oriented_ratio(Direction direction, double baseline, double current) {
+  const double good = direction == Direction::HigherBetter ? current : baseline;
+  const double bad = direction == Direction::HigherBetter ? baseline : current;
+  if (bad > 0.0) return good / bad;
+  return good > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+}
+
+}  // namespace
+
+Direction metric_direction(std::string_view name) {
+  if (ends_with(name, "_per_s")) return Direction::HigherBetter;
+  if (is_timing_metric(name)) return Direction::LowerBetter;
+  if (name.substr(0, 6) == "allocs") return Direction::LowerBetter;
+  return Direction::Neutral;
+}
+
+const char* to_string(MetricStatus status) {
+  switch (status) {
+    case MetricStatus::Improved: return "improved";
+    case MetricStatus::Unchanged: return "ok";
+    case MetricStatus::Regressed: return "REGRESSION";
+    case MetricStatus::Blowup: return "BLOWUP";
+    case MetricStatus::SkippedNoise: return "skipped-noise";
+    case MetricStatus::Neutral: return "info";
+    case MetricStatus::MissingCurrent: return "MISSING";
+    case MetricStatus::MissingBaseline: return "new-metric";
+  }
+  return "?";
+}
+
+CompareReport compare_records(const JsonValue& baseline,
+                              const JsonValue& current,
+                              const CompareOptions& options) {
+  CompareReport report;
+  const auto baseline_records = collect_records(baseline);
+  const auto current_records = collect_records(current);
+
+  const auto find_current =
+      [&](const std::string& label) -> const JsonValue* {
+    for (const auto& [name, record] : current_records)
+      if (name == label) return record;
+    return nullptr;
+  };
+
+  for (const auto& [label, old_record] : baseline_records) {
+    const JsonValue* new_record = find_current(label);
+    if (new_record == nullptr) {
+      report.missing_records.push_back(label);
+      continue;
+    }
+    const JsonValue* old_metrics = old_record->find("metrics");
+    const JsonValue* new_metrics = new_record->find("metrics");
+    const double old_wall = old_record->is_object() && old_metrics != nullptr
+                                ? old_metrics->number_at("measured_wall_ns")
+                                : 0.0;
+    const double new_wall = new_metrics != nullptr
+                                ? new_metrics->number_at("measured_wall_ns")
+                                : 0.0;
+
+    std::set<std::string> names;
+    if (old_metrics != nullptr && old_metrics->is_object())
+      for (const auto& [name, value] : old_metrics->members)
+        names.insert(name);
+    if (new_metrics != nullptr && new_metrics->is_object())
+      for (const auto& [name, value] : new_metrics->members)
+        names.insert(name);
+
+    for (const std::string& name : names) {
+      MetricDelta delta;
+      delta.record = label;
+      delta.metric = name;
+      const JsonValue* old_value =
+          old_metrics != nullptr ? old_metrics->find(name) : nullptr;
+      const JsonValue* new_value =
+          new_metrics != nullptr ? new_metrics->find(name) : nullptr;
+      const Direction direction = metric_direction(name);
+      if (old_value != nullptr) delta.baseline = old_value->as_number();
+      if (new_value != nullptr) delta.current = new_value->as_number();
+
+      if (direction == Direction::Neutral) {
+        delta.status = MetricStatus::Neutral;
+      } else if (new_value == nullptr) {
+        delta.status = MetricStatus::MissingCurrent;
+        ++report.regressions;
+      } else if (old_value == nullptr) {
+        delta.status = MetricStatus::MissingBaseline;
+      } else if (is_timing_metric(name) &&
+                 std::min(old_wall, new_wall) < options.min_wall_ns) {
+        delta.status = MetricStatus::SkippedNoise;
+      } else {
+        delta.ratio = oriented_ratio(direction, delta.baseline, delta.current);
+        if (delta.ratio < 1.0 / options.blowup) {
+          delta.status = MetricStatus::Blowup;
+          ++report.blowups;
+          ++report.regressions;
+        } else if (delta.ratio < 1.0 - options.threshold) {
+          delta.status = MetricStatus::Regressed;
+          ++report.regressions;
+        } else if (delta.ratio > 1.0 + options.threshold) {
+          delta.status = MetricStatus::Improved;
+        } else {
+          delta.status = MetricStatus::Unchanged;
+        }
+      }
+      report.deltas.push_back(std::move(delta));
+    }
+  }
+
+  report.fail = options.warn_only
+                    ? report.blowups > 0
+                    : report.regressions > 0 || !report.missing_records.empty();
+  return report;
+}
+
+void print_report(std::ostream& os, const CompareReport& report,
+                  const CompareOptions& options) {
+  std::size_t improved = 0;
+  std::size_t unchanged = 0;
+  std::size_t skipped = 0;
+  for (const MetricDelta& delta : report.deltas) {
+    switch (delta.status) {
+      case MetricStatus::Improved: ++improved; break;
+      case MetricStatus::Unchanged: ++unchanged; break;
+      case MetricStatus::SkippedNoise: ++skipped; break;
+      default: break;
+    }
+    // Quiet on the healthy cases, loud on anything actionable.
+    if (delta.status == MetricStatus::Unchanged ||
+        delta.status == MetricStatus::Neutral)
+      continue;
+    os << "[" << to_string(delta.status) << "] " << delta.record << "/"
+       << delta.metric << ": " << delta.baseline << " -> " << delta.current;
+    if (delta.status == MetricStatus::Improved ||
+        delta.status == MetricStatus::Regressed ||
+        delta.status == MetricStatus::Blowup)
+      os << " (oriented ratio " << delta.ratio << ")";
+    os << "\n";
+  }
+  for (const std::string& label : report.missing_records)
+    os << "[MISSING-RECORD] " << label << " absent from current run\n";
+  os << "bench_compare: " << report.deltas.size() << " metrics — " << improved
+     << " improved, " << unchanged << " unchanged, " << report.regressions
+     << " regressed (" << report.blowups << " blowups), " << skipped
+     << " below noise floor"
+     << (options.warn_only ? " [warn-only: blowups gate]" : "") << "\n"
+     << (report.fail ? "RESULT: FAIL" : "RESULT: PASS") << "\n";
+}
+
+namespace {
+
+JsonValue normalize_record(const JsonValue& record) {
+  JsonValue out = JsonValue::make_object();
+  out.add_member("schema", JsonValue::of(std::string_view(
+                               record.string_at("schema", "?"))));
+  out.add_member("schema_version",
+                 JsonValue::of(record.number_at("schema_version")));
+  out.add_member("label", JsonValue::of(std::string_view(
+                              record.string_at("label", "unnamed"))));
+  if (const JsonValue* notes = record.find("annotations");
+      notes != nullptr && notes->is_object()) {
+    JsonValue copy = JsonValue::make_object();
+    for (const auto& [key, value] : notes->members)
+      copy.add_member(key, value);
+    out.add_member("annotations", std::move(copy));
+  }
+  // Counters are deterministic totals — keep them all; they are the
+  // strongest cross-thread-count invariant.
+  if (const JsonValue* counters = record.find("counters");
+      counters != nullptr && counters->is_object()) {
+    JsonValue copy = JsonValue::make_object();
+    for (const auto& [key, value] : counters->members)
+      copy.add_member(key, value);
+    out.add_member("counters", std::move(copy));
+  }
+  // Phases: keep call counts, drop wall/cpu times.
+  if (const JsonValue* phases = record.find("phases");
+      phases != nullptr && phases->is_object()) {
+    JsonValue copy = JsonValue::make_object();
+    for (const auto& [name, phase] : phases->members) {
+      JsonValue entry = JsonValue::make_object();
+      entry.add_member("calls", JsonValue::of(phase.number_at("calls")));
+      copy.add_member(name, std::move(entry));
+    }
+    out.add_member("phases", std::move(copy));
+  }
+  // env (threads, sha) and metrics (timings, rates, allocation counts)
+  // are dropped wholesale: everything they contain either varies by
+  // machine/thread count or is derived from the counters kept above.
+  return out;
+}
+
+}  // namespace
+
+std::string normalize_for_determinism(const JsonValue& document) {
+  JsonValue out;
+  if (document.string_at("schema") == kBenchSuiteSchema) {
+    out = JsonValue::make_object();
+    out.add_member("schema", JsonValue::of(std::string_view(kBenchSuiteSchema)));
+    out.add_member("schema_version",
+                   JsonValue::of(document.number_at("schema_version")));
+    out.add_member("label", JsonValue::of(std::string_view(
+                                document.string_at("label", "unnamed"))));
+    JsonValue records = JsonValue::make_array();
+    if (const JsonValue* list = document.find("records");
+        list != nullptr && list->is_array())
+      for (const JsonValue& record : list->items)
+        records.items.push_back(normalize_record(record));
+    out.add_member("records", std::move(records));
+  } else {
+    out = normalize_record(document);
+  }
+  std::ostringstream os;
+  write_json(os, out, /*sorted_keys=*/true);
+  os << '\n';
+  return os.str();
+}
+
+JsonValue make_suite(const std::string& label, double scale,
+                     std::vector<JsonValue> records) {
+  JsonValue suite = JsonValue::make_object();
+  suite.add_member("schema", JsonValue::of(std::string_view(kBenchSuiteSchema)));
+  suite.add_member("schema_version",
+                   JsonValue::of(double{kBenchRecordSchemaVersion}));
+  suite.add_member("label", JsonValue::of(std::string_view(label)));
+  suite.add_member("scale", JsonValue::of(scale));
+  // Stable order: by record label, so roll-ups diff cleanly.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const JsonValue& a, const JsonValue& b) {
+                     return a.string_at("label") < b.string_at("label");
+                   });
+  JsonValue list = JsonValue::make_array();
+  list.items = std::move(records);
+  suite.add_member("records", std::move(list));
+  return suite;
+}
+
+}  // namespace opto::obs

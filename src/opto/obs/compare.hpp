@@ -1,0 +1,88 @@
+// Noise-aware comparison of BenchRecord / bench-suite documents — the
+// logic behind tools/bench_compare, kept in the library so the threshold
+// semantics are unit-testable.
+//
+// Per metric, the comparable direction is derived from its name:
+//   *_per_s                          higher is better, timing-based
+//   wall_s, *wall_ns*                lower is better, timing-based
+//   allocs*                          lower is better, count-based
+//   anything else                    neutral (reported, never gates)
+// Timing-based metrics are skipped when either record's measured_wall_ns
+// is below the min-run floor — sub-floor runs are dominated by scheduler
+// noise and would make the gate flap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opto/util/json_parse.hpp"
+
+namespace opto::obs {
+
+enum class Direction : std::uint8_t { HigherBetter, LowerBetter, Neutral };
+
+/// Direction implied by a metric name (see header comment).
+Direction metric_direction(std::string_view name);
+
+struct CompareOptions {
+  double threshold = 0.10;      ///< relative delta that counts as a change
+  double blowup = 3.0;          ///< hard-fail factor, even in warn-only mode
+  double min_wall_ns = 5e7;     ///< min measured_wall_ns for timing metrics
+  bool warn_only = false;       ///< regressions warn; only blowups fail
+};
+
+enum class MetricStatus : std::uint8_t {
+  Improved,
+  Unchanged,      ///< within threshold
+  Regressed,      ///< beyond threshold in the bad direction
+  Blowup,         ///< beyond the blowup factor in the bad direction
+  SkippedNoise,   ///< timing metric under the min-run floor
+  Neutral,        ///< informational metric, never gates
+  MissingCurrent, ///< present in baseline, absent in current
+  MissingBaseline ///< present in current only (new metric: informational)
+};
+
+const char* to_string(MetricStatus status);
+
+struct MetricDelta {
+  std::string record;  ///< record label the metric belongs to
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// current/baseline, oriented so > 1 is always an improvement
+  /// (inverted for lower-better metrics); 0 when undefined.
+  double ratio = 1.0;
+  MetricStatus status = MetricStatus::Unchanged;
+};
+
+struct CompareReport {
+  std::vector<MetricDelta> deltas;
+  std::vector<std::string> missing_records;  ///< labels absent from current
+  std::size_t regressions = 0;  ///< Regressed + Blowup deltas
+  std::size_t blowups = 0;
+  bool fail = false;  ///< final verdict under the options' mode
+};
+
+/// Compares two parsed documents (single records or suite roll-ups;
+/// records are matched by label). Unknown schemas compare as empty.
+CompareReport compare_records(const JsonValue& baseline,
+                              const JsonValue& current,
+                              const CompareOptions& options);
+
+/// One human-readable line per delta + summary, e.g. for CI logs.
+void print_report(std::ostream& os, const CompareReport& report,
+                  const CompareOptions& options);
+
+/// Canonical determinism view of a record or suite: timing-derived fields
+/// (wall/cpu times, *_per_s rates, allocation counts, env) are stripped,
+/// object keys are sorted. Two runs of the same workload must normalize
+/// to byte-identical text regardless of OPTO_THREADS or machine speed.
+std::string normalize_for_determinism(const JsonValue& document);
+
+/// Wraps records (parsed benchrecord_*.json documents) into one
+/// bench-suite roll-up value.
+JsonValue make_suite(const std::string& label, double scale,
+                     std::vector<JsonValue> records);
+
+}  // namespace opto::obs

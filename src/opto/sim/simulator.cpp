@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "opto/obs/obs.hpp"
 #include "opto/util/assert.hpp"
 #include "opto/util/timer.hpp"
 
@@ -49,6 +50,42 @@ bool profile_enabled() {
     return env != nullptr && env[0] != '\0';
   }();
   return enabled;
+}
+
+/// Pass-granular obs counters (one batch of relaxed adds per pass, not
+/// per step — the hot loop stays untouched). Static handles: the name
+/// registration happens once per process.
+struct SimObsCounters {
+  obs::Counter passes{"sim.passes"};
+  obs::Counter steps{"sim.steps"};
+  obs::Counter worm_steps{"sim.worm_steps"};
+  obs::Counter launched{"sim.launched"};
+  obs::Counter delivered{"sim.delivered"};
+  obs::Counter killed{"sim.killed"};
+  obs::Counter truncated{"sim.truncated"};
+  obs::Counter contentions{"sim.contentions"};
+  obs::Counter retunes{"sim.retunes"};
+  obs::Counter fault_kills{"sim.fault_kills"};
+  obs::Counter corrupted_arrivals{"sim.corrupted_arrivals"};
+  obs::Counter registry_probes{"sim.registry_probes"};
+  obs::Counter registry_hits{"sim.registry_hits"};
+};
+
+void record_pass_observation(const PassMetrics& metrics) {
+  static SimObsCounters counters;
+  counters.passes.add(1);
+  counters.steps.add(metrics.steps);
+  counters.worm_steps.add(metrics.worm_steps);
+  counters.launched.add(metrics.launched);
+  counters.delivered.add(metrics.delivered);
+  counters.killed.add(metrics.killed);
+  counters.truncated.add(metrics.truncated);
+  counters.contentions.add(metrics.contentions);
+  counters.retunes.add(metrics.retunes);
+  counters.fault_kills.add(metrics.fault_kills);
+  counters.corrupted_arrivals.add(metrics.corrupted_arrivals);
+  counters.registry_probes.add(metrics.registry_probes);
+  counters.registry_hits.add(metrics.registry_hits);
 }
 
 }  // namespace
@@ -144,6 +181,7 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
 
 void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
   const bool profile = profile_enabled();
+  const obs::ScopedTimer obs_timer("sim.pass");
   Timer timer;
   result.trace.reset(config_.record_trace);
   result.metrics = PassMetrics{};
@@ -653,6 +691,7 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
   if (profile)
     result.metrics.wall_ns =
         static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e9);
+  if (obs::enabled()) record_pass_observation(result.metrics);
 }
 
 }  // namespace opto

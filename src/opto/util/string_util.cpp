@@ -51,6 +51,18 @@ std::optional<double> parse_double(std::string_view text) {
   return value;
 }
 
+std::string slugify(std::string_view text) {
+  std::string slug;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    else if (!slug.empty() && slug.back() != '-')
+      slug += '-';
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "table" : slug;
+}
+
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() &&
          text.substr(0, prefix.size()) == prefix;

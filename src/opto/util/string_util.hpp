@@ -19,6 +19,11 @@ std::optional<double> parse_double(std::string_view text);
 
 bool starts_with(std::string_view text, std::string_view prefix);
 
+/// Lowercases and collapses non-alphanumerics to single dashes — file-name
+/// safe labels for tables and bench records ("E7: mesh" -> "e7-mesh").
+/// Empty or all-symbol input yields "table".
+std::string slugify(std::string_view text);
+
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items, std::string_view sep);
 

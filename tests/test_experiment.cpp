@@ -105,5 +105,34 @@ TEST(Experiment, ReproScaleInRange) {
   EXPECT_LE(scale, 100.0);
 }
 
+TEST(Experiment, ReproScaleParsesValidValues) {
+  ASSERT_EQ(::setenv("REPRO_SCALE", "0.25", 1), 0);
+  EXPECT_DOUBLE_EQ(repro_scale(), 0.25);
+  ASSERT_EQ(::setenv("REPRO_SCALE", "250", 1), 0);  // clamped to 100
+  EXPECT_DOUBLE_EQ(repro_scale(), 100.0);
+  ASSERT_EQ(::setenv("REPRO_SCALE", "", 1), 0);  // empty = unset = 1
+  EXPECT_DOUBLE_EQ(repro_scale(), 1.0);
+  ASSERT_EQ(::unsetenv("REPRO_SCALE"), 0);
+  EXPECT_DOUBLE_EQ(repro_scale(), 1.0);
+}
+
+TEST(ExperimentDeathTest, ReproScaleRejectsGarbage) {
+  // A set-but-unparseable or non-positive scale used to fall through
+  // silently; it must now be a hard exit(2) with a pointed message.
+  ASSERT_EQ(::setenv("REPRO_SCALE", "fast", 1), 0);
+  EXPECT_EXIT(repro_scale(), ::testing::ExitedWithCode(2),
+              "not a positive number");
+  ASSERT_EQ(::setenv("REPRO_SCALE", "0", 1), 0);
+  EXPECT_EXIT(repro_scale(), ::testing::ExitedWithCode(2),
+              "not a positive number");
+  ASSERT_EQ(::setenv("REPRO_SCALE", "-1", 1), 0);
+  EXPECT_EXIT(repro_scale(), ::testing::ExitedWithCode(2),
+              "not a positive number");
+  ASSERT_EQ(::setenv("REPRO_SCALE", "nan", 1), 0);
+  EXPECT_EXIT(repro_scale(), ::testing::ExitedWithCode(2),
+              "not a positive number");
+  ASSERT_EQ(::unsetenv("REPRO_SCALE"), 0);
+}
+
 }  // namespace
 }  // namespace opto

@@ -1,0 +1,91 @@
+// Compiled with OPTO_OBS_ENABLED=0 (see tests/CMakeLists.txt): in this
+// translation unit Counter and ScopedTimer must be empty inlines that
+// never touch the registry, while library code (compiled with obs on)
+// keeps working and simulation outcomes stay identical.
+#include <gtest/gtest.h>
+
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/benchsupport/experiment.hpp"
+#include "opto/obs/obs.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+
+static_assert(OPTO_OBS_ENABLED == 0,
+              "this test must be built with -DOPTO_OBS_ENABLED=0");
+
+namespace opto {
+namespace {
+
+bool registry_has_counter(const std::string& name) {
+  for (const auto& snapshot : obs::counters())
+    if (snapshot.name == name) return true;
+  return false;
+}
+
+bool registry_has_phase(const std::string& name) {
+  for (const auto& snapshot : obs::phases())
+    if (snapshot.name == name) return true;
+  return false;
+}
+
+TEST(ObsCompiledOut, CounterNeverRegistersOrRecords) {
+  obs::Counter counter("test.compiled_out.counter");
+  counter.add(42);
+  // The disabled inline never calls into the registry, so the name must
+  // not even appear.
+  EXPECT_FALSE(registry_has_counter("test.compiled_out.counter"));
+}
+
+TEST(ObsCompiledOut, ScopedTimerNeverRegisters) {
+  { const obs::ScopedTimer timer("test.compiled_out.phase"); }
+  EXPECT_FALSE(registry_has_phase("test.compiled_out.phase"));
+}
+
+TEST(ObsCompiledOut, LibraryCodeStillObserves) {
+  // The sim/core libraries are compiled with obs enabled; running a
+  // protocol from this TU still feeds their counters.
+  obs::set_enabled(true);
+  obs::reset();
+  const auto collection = make_bundle_collection(1, 4, 6);
+  ProtocolConfig config;
+  config.bandwidth = 2;
+  config.worm_length = 3;
+  config.max_rounds = 50;
+  const auto schedule = paper_schedule_factory(3, 2)(collection);
+  TrialAndFailure protocol(collection, config, *schedule);
+  const ProtocolResult result = protocol.run(7);
+  EXPECT_TRUE(result.success);
+
+  bool found = false;
+  for (const auto& snapshot : obs::counters())
+    if (snapshot.name == "protocol.runs" && snapshot.value == 1) found = true;
+  EXPECT_TRUE(found);
+  obs::reset();
+}
+
+TEST(ObsCompiledOut, OutcomesMatchObservedBuild) {
+  // Differential against the obs-on libraries: toggling the runtime flag
+  // from an obs-off TU must still leave outcomes untouched.
+  const auto run_once = [] {
+    const auto collection = make_bundle_collection(1, 8, 10);
+    ProtocolConfig config;
+    config.bandwidth = 2;
+    config.worm_length = 4;
+    config.max_rounds = 100;
+    const auto schedule = paper_schedule_factory(4, 2)(collection);
+    TrialAndFailure protocol(collection, config, *schedule);
+    return protocol.run(12345);
+  };
+  obs::set_enabled(true);
+  const ProtocolResult on = run_once();
+  obs::set_enabled(false);
+  const ProtocolResult off = run_once();
+  obs::set_enabled(true);
+  EXPECT_EQ(on.success, off.success);
+  EXPECT_EQ(on.rounds_used, off.rounds_used);
+  EXPECT_EQ(on.total_charged_time, off.total_charged_time);
+  EXPECT_EQ(on.total_actual_time, off.total_actual_time);
+  obs::reset();
+}
+
+}  // namespace
+}  // namespace opto

@@ -1,0 +1,169 @@
+// bench_compare — CLI over obs/compare.hpp. Three modes:
+//
+//   bench_compare <baseline.json> <current.json>
+//       [--threshold F] [--blowup F] [--min-wall-ms F] [--warn-only]
+//     Diffs two BenchRecord / bench-suite files with noise-aware
+//     thresholds. Exit 0 = pass, 1 = regression (or blowup in
+//     warn-only mode), 2 = usage/parse error.
+//
+//   bench_compare --normalize <file.json>
+//     Prints the canonical determinism view (timings stripped, keys
+//     sorted) — the CI determinism job diffs these byte-for-byte.
+//
+//   bench_compare --rollup <out.json> --label L [--scale S] <record...>
+//     Bundles per-bench records into one BENCH_<label>.json suite.
+//
+// Humans and CI consume the same artifacts: what the gate diffs is
+// exactly what the perf-suite script uploads.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opto/obs/bench_record.hpp"
+#include "opto/obs/compare.hpp"
+#include "opto/util/json_parse.hpp"
+#include "opto/util/string_util.hpp"
+
+namespace {
+
+using opto::JsonValue;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <baseline.json> <current.json> [--threshold F] [--blowup F]\n"
+      "          [--min-wall-ms F] [--warn-only]\n"
+      "       %s --normalize <file.json>\n"
+      "       %s --rollup <out.json> --label <label> [--scale F] <record...>\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+std::optional<JsonValue> load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto parsed = opto::parse_json(buffer.str(), &error);
+  if (!parsed)
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+  return parsed;
+}
+
+std::optional<double> parse_flag_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) return std::nullopt;
+  return opto::parse_double(argv[++i]);
+}
+
+int run_normalize(const std::string& path) {
+  const auto document = load_json(path);
+  if (!document) return 2;
+  std::cout << opto::obs::normalize_for_determinism(*document);
+  return 0;
+}
+
+int run_rollup(int argc, char** argv) {
+  std::string out_path;
+  std::string label;
+  double scale = 1.0;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (arg == "--scale") {
+      const auto value = parse_flag_value(argc, argv, i);
+      if (!value) return usage(argv[0]);
+      scale = *value;
+    } else if (out_path.empty()) {
+      out_path = arg;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (out_path.empty() || label.empty() || inputs.empty()) {
+    std::fprintf(stderr, "bench_compare --rollup: need an output path, "
+                         "--label, and at least one record\n");
+    return 2;
+  }
+  std::vector<JsonValue> records;
+  for (const std::string& path : inputs) {
+    auto record = load_json(path);
+    if (!record) return 2;
+    if (record->string_at("schema") != opto::obs::kBenchRecordSchema) {
+      std::fprintf(stderr, "bench_compare: '%s' is not a bench record\n",
+                   path.c_str());
+      return 2;
+    }
+    records.push_back(std::move(*record));
+  }
+  const JsonValue suite =
+      opto::obs::make_suite(opto::slugify(label), scale, std::move(records));
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_compare: cannot write '%s'\n",
+                 out_path.c_str());
+    return 2;
+  }
+  opto::write_json(out, suite);
+  out << '\n';
+  std::printf("wrote %s (%zu records)\n", out_path.c_str(), inputs.size());
+  return 0;
+}
+
+int run_compare(int argc, char** argv) {
+  opto::obs::CompareOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--warn-only") {
+      options.warn_only = true;
+    } else if (arg == "--threshold") {
+      const auto value = parse_flag_value(argc, argv, i);
+      if (!value || *value < 0.0) return usage(argv[0]);
+      options.threshold = *value;
+    } else if (arg == "--blowup") {
+      const auto value = parse_flag_value(argc, argv, i);
+      if (!value || *value <= 1.0) return usage(argv[0]);
+      options.blowup = *value;
+    } else if (arg == "--min-wall-ms") {
+      const auto value = parse_flag_value(argc, argv, i);
+      if (!value || *value < 0.0) return usage(argv[0]);
+      options.min_wall_ns = *value * 1e6;
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) return usage(argv[0]);
+  const auto baseline = load_json(files[0]);
+  const auto current = load_json(files[1]);
+  if (!baseline || !current) return 2;
+  const auto report =
+      opto::obs::compare_records(*baseline, *current, options);
+  opto::obs::print_report(std::cout, report, options);
+  return report.fail ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string mode = argv[1];
+  if (mode == "--normalize") {
+    if (argc != 3) return usage(argv[0]);
+    return run_normalize(argv[2]);
+  }
+  if (mode == "--rollup") return run_rollup(argc, argv);
+  return run_compare(argc, argv);
+}
