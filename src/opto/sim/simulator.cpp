@@ -153,17 +153,21 @@ void Simulator::apply_truncation(WormId victim, std::uint32_t cut_link_index,
             path.link(i), victim_wavelength(i), victim,
             worm.entry_time(i) + remnant));
   // If the victim was still draining and the cut pulled its tail's exit
-  // from the last link to (or before) `now`, its delivery is already in
+  // from the last link strictly before `now`, its delivery is already in
   // the past: finalize immediately so the drain scan never records a
   // Deliver event behind later-timestamped ones. finish_time keeps the
   // physical drain time; the trace event carries `now` (when the outcome
-  // became known) to stay time-monotonic. Finalized or killed victims can
-  // be cut again (their upstream flits keep draining through earlier
-  // links) — those keep their existing outcome.
+  // became known) to stay time-monotonic. A tail leaving exactly at `now`
+  // is NOT finalized here: that flit is still crossing couplers this
+  // step, so a later contention group of the same step may cut it again —
+  // this step's drain scan (which runs after every group) finalizes it.
+  // Finalized or killed victims can be cut again (their upstream flits
+  // keep draining through earlier links) — those keep their existing
+  // outcome.
   if (worm.status == WormStatus::Running &&
       worm.head_index == path.length() && !path.empty()) {
     const SimTime done = worm.entry_time(path.length() - 1) + worm.length - 1;
-    if (done <= now) {
+    if (done < now) {
       worm.status = WormStatus::Delivered;
       worm.finish_time = done;
       ++result.metrics.truncated_arrivals;  // a cut worm is never intact

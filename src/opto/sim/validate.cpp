@@ -39,6 +39,7 @@ ValidationReport validate_pass(const PathCollection& collection,
   }
 
   std::uint64_t delivered = 0, killed = 0, truncated_arrivals = 0;
+  std::uint64_t fault_kills = 0, corrupted_arrivals = 0;
   SimTime makespan = 0;
   for (WormId id = 0; id < specs.size(); ++id) {
     const WormOutcome& outcome = result.worms[id];
@@ -50,8 +51,13 @@ ValidationReport validate_pass(const PathCollection& collection,
       case WormStatus::Delivered: {
         if (outcome.truncated)
           ++truncated_arrivals;
+        else if (outcome.corrupted)
+          ++corrupted_arrivals;
         else
           ++delivered;
+        // A corrupted delivery is a fault loss; any other delivery isn't.
+        if (outcome.fault_loss != (outcome.corrupted && !outcome.truncated))
+          complain(describe(id, "delivery fault_loss flag inconsistent"));
         if (path.empty()) {
           if (outcome.finish_time != spec.start_time)
             complain(describe(id, "zero-length path finish != start"));
@@ -68,7 +74,6 @@ ValidationReport validate_pass(const PathCollection& collection,
         break;
       }
       case WormStatus::Killed: {
-        ++killed;
         if (outcome.blocked_at_link >= path.length()) {
           complain(describe(id, "blocked past the end of the path"));
           break;
@@ -77,6 +82,15 @@ ValidationReport validate_pass(const PathCollection& collection,
             spec.start_time + outcome.blocked_at_link;
         if (outcome.finish_time != blocked_at)
           complain(describe(id, "kill time != entry time of blocked link"));
+        if (outcome.fault_loss) {
+          // Fault kills (dark link, failed coupler, stuck wavelength) are
+          // witness-free by design: no worm caused them.
+          ++fault_kills;
+          if (outcome.blocked_by != kInvalidWorm)
+            complain(describe(id, "fault kill must not name a witness"));
+          break;
+        }
+        ++killed;
         const WormId blocker = outcome.blocked_by;
         if (blocker == kInvalidWorm || blocker >= specs.size() ||
             blocker == id) {
@@ -101,6 +115,10 @@ ValidationReport validate_pass(const PathCollection& collection,
     complain("metrics.delivered mismatch");
   if (result.metrics.killed != killed)
     complain("metrics.killed mismatch");
+  if (result.metrics.fault_kills != fault_kills)
+    complain("metrics.fault_kills mismatch");
+  if (result.metrics.corrupted_arrivals != corrupted_arrivals)
+    complain("metrics.corrupted_arrivals mismatch");
   if (result.metrics.truncated_arrivals != truncated_arrivals)
     complain("metrics.truncated_arrivals mismatch");
   if (result.metrics.launched != specs.size())

@@ -20,12 +20,14 @@ struct ValidationReport {
 
 /// Checks, given the launch specs and the pass result:
 ///  * conservation: every worm ends Delivered or Killed; metric counters
-///    match the per-worm outcomes;
+///    match the per-worm outcomes (including the fault-loss split:
+///    fault_kills and corrupted_arrivals are tallied separately);
 ///  * finish times: delivered worms finish within
 ///    [start + len(path) − 1, start + len(path) + L − 2]; killed worms
 ///    at their blocking step;
-///  * witnesses: every killed worm's blocker shares the blocked link (and
-///    the wavelength, when conversion is off);
+///  * witnesses: every contention-killed worm's blocker shares the
+///    blocked link (and the wavelength, when conversion is off); fault
+///    kills are witness-free by design and must stay that way;
 ///  * makespan = max finish time.
 ValidationReport validate_pass(const PathCollection& collection,
                                const SimConfig& config,

@@ -1,0 +1,188 @@
+#include "opto/testlib/differ.hpp"
+
+#include <sstream>
+
+#include "opto/sim/reference.hpp"
+#include "opto/sim/validate.hpp"
+
+namespace opto::testlib {
+namespace {
+
+void report_worm(std::vector<std::string>* issues, const char* source,
+                 WormId id, const char* field, long long fast,
+                 long long other) {
+  std::ostringstream os;
+  os << "[" << source << "] worm " << id << ": " << field
+     << " mismatch (engine " << fast << " vs " << other << ")";
+  issues->push_back(os.str());
+}
+
+void report_metric(std::vector<std::string>* issues, const char* source,
+                   const char* name, std::uint64_t fast, std::uint64_t other) {
+  std::ostringstream os;
+  os << "[" << source << "] metrics." << name << " mismatch (engine " << fast
+     << " vs " << other << ")";
+  issues->push_back(os.str());
+}
+
+/// Field-for-field comparison against the reference engine: everything
+/// the flit-level model defines (statuses, times, witnesses, and the
+/// model-level counters; the fast engine's instrumentation counters —
+/// probes, steps, peak_inflight — have no reference analogue).
+void compare_to_reference(const PassResult& fast, const PassResult& ref,
+                          std::vector<std::string>* issues) {
+  const char* src = "reference";
+  for (WormId id = 0; id < fast.worms.size(); ++id) {
+    const WormOutcome& a = fast.worms[id];
+    const WormOutcome& b = ref.worms[id];
+    if (a.status != b.status) {
+      std::ostringstream os;
+      os << "[" << src << "] worm " << id << ": status mismatch (engine "
+         << to_string(a.status) << " vs " << to_string(b.status) << ")";
+      issues->push_back(os.str());
+      continue;  // downstream fields are defined relative to the status
+    }
+    if (a.finish_time != b.finish_time)
+      report_worm(issues, src, id, "finish_time", a.finish_time,
+                  b.finish_time);
+    if (a.truncated != b.truncated)
+      report_worm(issues, src, id, "truncated", a.truncated, b.truncated);
+    if (a.status == WormStatus::Killed) {
+      if (a.blocked_by != b.blocked_by)
+        report_worm(issues, src, id, "blocked_by", a.blocked_by, b.blocked_by);
+      if (a.blocked_at_link != b.blocked_at_link)
+        report_worm(issues, src, id, "blocked_at_link", a.blocked_at_link,
+                    b.blocked_at_link);
+    }
+  }
+  const PassMetrics& m = fast.metrics;
+  const PassMetrics& r = ref.metrics;
+  if (m.launched != r.launched)
+    report_metric(issues, src, "launched", m.launched, r.launched);
+  if (m.delivered != r.delivered)
+    report_metric(issues, src, "delivered", m.delivered, r.delivered);
+  if (m.killed != r.killed)
+    report_metric(issues, src, "killed", m.killed, r.killed);
+  if (m.truncated != r.truncated)
+    report_metric(issues, src, "truncated", m.truncated, r.truncated);
+  if (m.truncated_arrivals != r.truncated_arrivals)
+    report_metric(issues, src, "truncated_arrivals", m.truncated_arrivals,
+                  r.truncated_arrivals);
+  if (m.contentions != r.contentions)
+    report_metric(issues, src, "contentions", m.contentions, r.contentions);
+  if (m.retunes != r.retunes)
+    report_metric(issues, src, "retunes", m.retunes, r.retunes);
+  if (m.worm_steps != r.worm_steps)
+    report_metric(issues, src, "worm_steps", m.worm_steps, r.worm_steps);
+  if (static_cast<std::uint64_t>(m.makespan) !=
+      static_cast<std::uint64_t>(r.makespan))
+    report_metric(issues, src, "makespan",
+                  static_cast<std::uint64_t>(m.makespan),
+                  static_cast<std::uint64_t>(r.makespan));
+}
+
+/// Exact determinism comparison between two runs of the production
+/// engine (wall_ns excluded: it is real time, not model time).
+void compare_runs(const PassResult& a, const PassResult& b,
+                  std::vector<std::string>* issues) {
+  const char* src = "determinism";
+  for (WormId id = 0; id < a.worms.size(); ++id) {
+    const WormOutcome& x = a.worms[id];
+    const WormOutcome& y = b.worms[id];
+    if (x.status != y.status)
+      report_worm(issues, src, id, "status", static_cast<long long>(x.status),
+                  static_cast<long long>(y.status));
+    if (x.truncated != y.truncated)
+      report_worm(issues, src, id, "truncated", x.truncated, y.truncated);
+    if (x.corrupted != y.corrupted)
+      report_worm(issues, src, id, "corrupted", x.corrupted, y.corrupted);
+    if (x.fault_loss != y.fault_loss)
+      report_worm(issues, src, id, "fault_loss", x.fault_loss, y.fault_loss);
+    if (x.finish_time != y.finish_time)
+      report_worm(issues, src, id, "finish_time", x.finish_time,
+                  y.finish_time);
+    if (x.blocked_at_link != y.blocked_at_link)
+      report_worm(issues, src, id, "blocked_at_link", x.blocked_at_link,
+                  y.blocked_at_link);
+    if (x.blocked_by != y.blocked_by)
+      report_worm(issues, src, id, "blocked_by", x.blocked_by, y.blocked_by);
+  }
+  const PassMetrics& m = a.metrics;
+  const PassMetrics& n = b.metrics;
+  const auto check = [issues, src](const char* name, std::uint64_t x,
+                                   std::uint64_t y) {
+    if (x != y) report_metric(issues, src, name, x, y);
+  };
+  check("launched", m.launched, n.launched);
+  check("delivered", m.delivered, n.delivered);
+  check("killed", m.killed, n.killed);
+  check("truncated", m.truncated, n.truncated);
+  check("truncated_arrivals", m.truncated_arrivals, n.truncated_arrivals);
+  check("contentions", m.contentions, n.contentions);
+  check("retunes", m.retunes, n.retunes);
+  check("fault_kills", m.fault_kills, n.fault_kills);
+  check("corrupted", m.corrupted, n.corrupted);
+  check("corrupted_arrivals", m.corrupted_arrivals, n.corrupted_arrivals);
+  check("makespan", static_cast<std::uint64_t>(m.makespan),
+        static_cast<std::uint64_t>(n.makespan));
+  check("worm_steps", m.worm_steps, n.worm_steps);
+  check("link_busy_steps", m.link_busy_steps, n.link_busy_steps);
+  check("steps", m.steps, n.steps);
+  check("registry_probes", m.registry_probes, n.registry_probes);
+  check("registry_hits", m.registry_hits, n.registry_hits);
+  check("peak_inflight", m.peak_inflight, n.peak_inflight);
+}
+
+}  // namespace
+
+std::string DiffReport::summary(std::size_t max_items) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < issues.size() && i < max_items; ++i)
+    os << (i > 0 ? "\n" : "") << issues[i];
+  if (issues.size() > max_items)
+    os << "\n... (" << issues.size() - max_items << " more)";
+  return os.str();
+}
+
+DiffReport diff_case(const FuzzCase& fuzz) {
+  DiffReport report;
+  std::string shape_error;
+  if (!well_formed(fuzz, &shape_error)) {
+    report.issues.push_back("[case] " + shape_error);
+    return report;
+  }
+
+  const auto built = build_case(fuzz);
+  SimConfig config = built->config;  // plan pointer stays valid: same scope
+  config.record_trace = true;        // validate_occupancy needs the trace
+
+  Simulator first(built->collection, config);
+  const PassResult fast = first.run(fuzz.specs);
+  report.metrics = fast.metrics;
+
+  // A fresh engine instance must reproduce the pass bit-for-bit; this is
+  // the property --replay and the corpus rest on.
+  Simulator second(built->collection, config);
+  const PassResult again = second.run(fuzz.specs);
+  compare_runs(fast, again, &report.issues);
+
+  const ValidationReport pass_report =
+      validate_pass(built->collection, config, fuzz.specs, fast);
+  for (const std::string& violation : pass_report.violations)
+    report.issues.push_back("[validate] " + violation);
+  const ValidationReport occupancy_report =
+      validate_occupancy(built->collection, fuzz.specs, fast);
+  for (const std::string& violation : occupancy_report.violations)
+    report.issues.push_back("[occupancy] " + violation);
+
+  const bool faults_active =
+      config.faults != nullptr && config.faults->enabled();
+  if (!faults_active) {
+    const PassResult ref =
+        reference_run(built->collection, config, fuzz.specs);
+    compare_to_reference(fast, ref, &report.issues);
+  }
+  return report;
+}
+
+}  // namespace opto::testlib

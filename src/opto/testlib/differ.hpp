@@ -1,0 +1,40 @@
+// Differential driver: one fuzz case in, a list of disagreements out.
+//
+// Every case gets, in order:
+//  1. a structural well-formedness check (hostile repro files fail here
+//     with a message instead of tripping an engine assert);
+//  2. two independent production Simulator runs, compared bit-for-bit —
+//     the engine must be deterministic for replay to mean anything;
+//  3. the validate.hpp invariant checkers (conservation, finish-time
+//     windows, witnesses, trace-based occupancy disjointness);
+//  4. when the case carries no *enabled* fault plan: a field-for-field
+//     comparison against the first-principles reference engine
+//     (reference_run models no faults, so faulty cases stop at 2+3 —
+//     a case whose fault plan has all-zero rates still reaches 4,
+//     which pins the "disabled plan is bit-identical to no plan"
+//     contract).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "opto/testlib/fuzz_case.hpp"
+
+namespace opto::testlib {
+
+struct DiffReport {
+  /// Human-readable disagreements, each prefixed with its source:
+  /// [case], [determinism], [validate], [occupancy], or [reference].
+  std::vector<std::string> issues;
+  /// Production-engine metrics of the run (zeroed when the case never
+  /// built); lets callers select cases by behavior without re-running.
+  PassMetrics metrics;
+
+  bool ok() const { return issues.empty(); }
+  std::string summary(std::size_t max_items = 8) const;
+};
+
+DiffReport diff_case(const FuzzCase& fuzz);
+
+}  // namespace opto::testlib

@@ -1,0 +1,191 @@
+// FuzzCase structural validation and the canonical JSON round-trip the
+// replayable corpus depends on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "opto/testlib/fuzz_case.hpp"
+#include "opto/testlib/generator.hpp"
+
+namespace opto::testlib {
+namespace {
+
+/// A small hand-built case every mutation below starts from.
+FuzzCase base_case() {
+  FuzzCase fuzz;
+  fuzz.seed = 0xfeedface12345678ull;  // bigger than 2^53: exercises the
+  fuzz.index = 41;                    // string-serialized seed path
+  fuzz.node_count = 3;
+  fuzz.edges = {{0, 1}, {1, 2}};
+  fuzz.paths = {{0, 1, 2}, {2, 1}};
+  fuzz.bandwidth = 2;
+  fuzz.specs.resize(2);
+  fuzz.specs[0].path = 0;
+  fuzz.specs[0].length = 3;
+  fuzz.specs[0].wavelength = 1;
+  fuzz.specs[1].path = 1;
+  fuzz.specs[1].start_time = 4;
+  fuzz.specs[1].length = 1;
+  return fuzz;
+}
+
+TEST(FuzzCase, BaseCaseIsWellFormedAndBuilds) {
+  std::string error;
+  ASSERT_TRUE(well_formed(base_case(), &error)) << error;
+  const auto built = build_case(base_case());
+  EXPECT_EQ(built->graph->node_count(), 3u);
+  EXPECT_EQ(built->collection.size(), 2u);
+  EXPECT_EQ(built->config.bandwidth, 2u);
+  EXPECT_EQ(built->config.faults, nullptr);
+}
+
+TEST(FuzzCase, CanonicalJsonRoundTripsByteIdentically) {
+  const FuzzCase fuzz = base_case();
+  const std::string bytes = canonical_json(fuzz);
+  EXPECT_EQ(bytes.back(), '\n');
+  std::string error;
+  const auto parsed = parse_case(bytes, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(canonical_json(*parsed), bytes);
+  EXPECT_EQ(parsed->seed, fuzz.seed);
+  EXPECT_EQ(parsed->index, fuzz.index);
+  EXPECT_EQ(parsed->edges, fuzz.edges);
+  EXPECT_EQ(parsed->paths, fuzz.paths);
+  EXPECT_EQ(parsed->specs.size(), fuzz.specs.size());
+  EXPECT_EQ(parsed->specs[1].start_time, 4u);
+}
+
+TEST(FuzzCase, FaultPlanRoundTrips) {
+  FuzzCase fuzz = base_case();
+  fuzz.has_faults = true;
+  fuzz.faults.link_outage_rate = 0.25;
+  fuzz.faults.corruption_rate = 0.05;
+  fuzz.fault_seed = 0x8000000000000001ull;
+  fuzz.fault_epoch = 3;
+  const std::string bytes = canonical_json(fuzz);
+  std::string error;
+  const auto parsed = parse_case(bytes, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->has_faults);
+  EXPECT_DOUBLE_EQ(parsed->faults.link_outage_rate, 0.25);
+  EXPECT_EQ(parsed->fault_seed, 0x8000000000000001ull);
+  EXPECT_EQ(parsed->fault_epoch, 3u);
+  EXPECT_EQ(canonical_json(*parsed), bytes);
+  const auto built = build_case(*parsed);
+  ASSERT_NE(built->config.faults, nullptr);
+  EXPECT_TRUE(built->config.faults->enabled());
+}
+
+TEST(FuzzCase, GeneratedCasesRoundTrip) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const FuzzCase fuzz = generate_case(99, i);
+    const std::string bytes = canonical_json(fuzz);
+    std::string error;
+    const auto parsed = parse_case(bytes, &error);
+    ASSERT_TRUE(parsed.has_value()) << "case " << i << ": " << error;
+    EXPECT_EQ(canonical_json(*parsed), bytes) << "case " << i;
+  }
+}
+
+TEST(FuzzCase, RejectsOutOfRangeStructure) {
+  std::string error;
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.edges.push_back({0, 0});  // self-loop
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.edges.push_back({1, 0});  // duplicate of (0,1)
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.edges.push_back({1, 7});  // endpoint out of range
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.paths.push_back({0, 2});  // non-adjacent hop
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.paths.push_back({0, 1, 0});  // revisits a node
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+}
+
+TEST(FuzzCase, RejectsBadSpecs) {
+  std::string error;
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.specs[0].length = 0;  // worms carry at least one flit
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.specs[0].wavelength = 2;  // >= bandwidth
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.specs[0].path = 9;  // dangling path id
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    // Equal ranks under the priority rule would trip the resolver's
+    // distinct-priorities contract; well_formed must catch it first.
+    FuzzCase fuzz = base_case();
+    fuzz.rule = ContentionRule::Priority;
+    fuzz.specs[0].priority = 5;
+    fuzz.specs[1].priority = 5;
+    EXPECT_FALSE(well_formed(fuzz, &error));
+    fuzz.specs[1].priority = 6;
+    EXPECT_TRUE(well_formed(fuzz, &error)) << error;
+  }
+}
+
+TEST(FuzzCase, RejectsBadConverterAndFaultShapes) {
+  std::string error;
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.conversion = ConversionMode::Sparse;
+    fuzz.converters.assign(2, 1);  // must be node_count entries
+    EXPECT_FALSE(well_formed(fuzz, &error));
+    fuzz.converters.assign(3, 1);
+    EXPECT_TRUE(well_formed(fuzz, &error)) << error;
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.converters.assign(3, 1);  // converters without Sparse mode
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.has_faults = true;
+    fuzz.faults.link_outage_rate = 1.5;  // rates live in [0,1]
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+  {
+    FuzzCase fuzz = base_case();
+    fuzz.has_faults = true;
+    fuzz.faults.outage_period = 4;
+    fuzz.faults.outage_duration = 9;  // must fit inside the period
+    EXPECT_FALSE(well_formed(fuzz, &error));
+  }
+}
+
+TEST(FuzzCase, ParseRejectsWrongSchemaAndGarbage) {
+  std::string error;
+  EXPECT_FALSE(parse_case("not json at all", &error).has_value());
+  EXPECT_FALSE(parse_case("{}", &error).has_value());
+  std::string bytes = canonical_json(base_case());
+  const std::string tag = "opto.fuzz.case/1";
+  bytes.replace(bytes.find(tag), tag.size(), "opto.fuzz.case/9");
+  EXPECT_FALSE(parse_case(bytes, &error).has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace opto::testlib

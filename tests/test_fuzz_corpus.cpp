@@ -1,0 +1,59 @@
+// Replays every committed corpus case in tier-1: each file must be in
+// canonical byte form (so replays are bit-identical), build, and pass
+// the full differential check. The corpus holds minimized reproducers of
+// fixed divergences plus distilled behavior anchors (a kill, a
+// truncation, a retune, a fault kill, a corrupted arrival) — if an
+// engine change flips any of their outcomes, this test names the file.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opto/testlib/differ.hpp"
+#include "opto/testlib/fuzz_case.hpp"
+
+namespace opto::testlib {
+namespace {
+
+std::vector<std::string> corpus_files() {
+#ifdef OPTO_CORPUS_DIR
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(OPTO_CORPUS_DIR, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+#else
+  return {};
+#endif
+}
+
+TEST(FuzzCorpus, EveryCaseIsCanonicalAndDiffsClean) {
+  const std::vector<std::string> files = corpus_files();
+  ASSERT_FALSE(files.empty()) << "tests/corpus/ has no cases";
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    ASSERT_TRUE(in.good()) << file;
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string bytes = os.str();
+
+    std::string error;
+    const auto fuzz = parse_case(bytes, &error);
+    ASSERT_TRUE(fuzz.has_value()) << file << ": " << error;
+    EXPECT_EQ(canonical_json(*fuzz), bytes)
+        << file << " is not canonical; rewrite it with canonical_json()";
+
+    const DiffReport report = diff_case(*fuzz);
+    EXPECT_TRUE(report.ok()) << file << ":\n" << report.summary();
+  }
+}
+
+}  // namespace
+}  // namespace opto::testlib

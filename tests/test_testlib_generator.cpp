@@ -1,0 +1,99 @@
+// Generator determinism — the property the replayable corpus rests on:
+// generate_case(seed, index) must be a pure function of its arguments,
+// independent of thread settings, environment, and process boundaries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "opto/testlib/differ.hpp"
+#include "opto/testlib/fuzz_case.hpp"
+#include "opto/testlib/generator.hpp"
+
+namespace opto::testlib {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xa11ce5ull;
+
+TEST(Generator, SameSeedSameBytesInProcess) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const std::string first = canonical_json(generate_case(kSeed, i));
+    const std::string second = canonical_json(generate_case(kSeed, i));
+    EXPECT_EQ(first, second) << "case " << i;
+  }
+}
+
+TEST(Generator, IndependentOfThreadEnvironment) {
+  // The generator must not consult OPTO_THREADS (or any environment) —
+  // flipping it between calls must not move a single byte.
+  setenv("OPTO_THREADS", "1", /*overwrite=*/1);
+  std::vector<std::string> single;
+  for (std::uint64_t i = 0; i < 32; ++i)
+    single.push_back(canonical_json(generate_case(kSeed, i)));
+  setenv("OPTO_THREADS", "8", /*overwrite=*/1);
+  for (std::uint64_t i = 0; i < 32; ++i)
+    EXPECT_EQ(canonical_json(generate_case(kSeed, i)), single[i])
+        << "case " << i;
+  unsetenv("OPTO_THREADS");
+}
+
+TEST(Generator, StreamsAreDistinct) {
+  // Different (seed, index) pairs should give different cases virtually
+  // always; a collapse here means the stream derivation is broken.
+  std::set<std::string> bytes;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    bytes.insert(canonical_json(generate_case(kSeed, i)));
+  bytes.insert(canonical_json(generate_case(kSeed + 1, 0)));
+  EXPECT_GE(bytes.size(), 60u);
+}
+
+#ifdef OPTO_FUZZ_BIN
+std::string run_dump(std::uint64_t seed, std::uint64_t index) {
+  const std::string command = std::string(OPTO_FUZZ_BIN) + " --seed " +
+                              std::to_string(seed) + " --dump " +
+                              std::to_string(index) + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  std::string output;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = fread(buffer, 1, sizeof buffer, pipe)) > 0)
+    output.append(buffer, got);
+  pclose(pipe);
+  return output;
+}
+
+TEST(Generator, SameSeedSameBytesAcrossProcesses) {
+  // Two separate opto_fuzz processes and this test process must agree on
+  // every byte of the same (seed, index) cases.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::string in_process = canonical_json(generate_case(kSeed, i));
+    const std::string first = run_dump(kSeed, i);
+    const std::string second = run_dump(kSeed, i);
+    ASSERT_FALSE(first.empty()) << "opto_fuzz --dump produced nothing";
+    EXPECT_EQ(first, in_process) << "case " << i;
+    EXPECT_EQ(first, second) << "case " << i;
+  }
+}
+#endif  // OPTO_FUZZ_BIN
+
+TEST(Generator, MiniFuzzRunsClean) {
+  // A small always-on differential sweep: every generated case must pass
+  // determinism, invariant, and (when fault-free) reference checks. The
+  // CI smoke job and nightly campaign scale this same loop up.
+  std::uint64_t with_contention = 0;
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    const FuzzCase fuzz = generate_case(kSeed, i);
+    const DiffReport report = diff_case(fuzz);
+    EXPECT_TRUE(report.ok())
+        << "case " << i << ":\n" << report.summary();
+    if (report.metrics.contentions > 0) ++with_contention;
+  }
+  // The generator would be useless if its cases never collided.
+  EXPECT_GE(with_contention, 30u);
+}
+
+}  // namespace
+}  // namespace opto::testlib

@@ -1,0 +1,366 @@
+// opto_fuzz — randomized differential fuzzing driver.
+//
+// Modes (mutually exclusive, first match wins):
+//   --replay FILE      re-run one saved case, print the diff verdict
+//   --replay-dir DIR   re-run every *.json case in DIR (the corpus)
+//   --dump INDEX       print case INDEX of the seed's stream as canonical
+//                      JSON (used by the cross-process determinism test)
+//   --distill KIND     search the stream for a case exhibiting KIND
+//                      (kill | truncate | retune | fault | corrupt),
+//                      shrink it while preserving the behavior, write it
+//                      to --out — this is how corpus anchors are made
+//   (default)          fuzz: generate --cases cases from --seed, diff
+//                      each, shrink and save any failure to --out
+//
+// Exit codes: 0 all clean, 1 divergence found (or behavior not found,
+// for --distill), 2 usage / file errors.
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opto/testlib/differ.hpp"
+#include "opto/testlib/fuzz_case.hpp"
+#include "opto/testlib/generator.hpp"
+#include "opto/testlib/shrink.hpp"
+#include "opto/util/cli.hpp"
+
+namespace {
+
+using opto::testlib::CasePredicate;
+using opto::testlib::DiffReport;
+using opto::testlib::FuzzCase;
+using opto::testlib::GenOptions;
+using opto::testlib::ShrinkOptions;
+using opto::testlib::ShrinkStats;
+
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << bytes;
+  return static_cast<bool>(out);
+}
+
+/// Running tallies of what the generated stream actually exercised, so a
+/// "clean" campaign can show it covered the interesting regimes rather
+/// than silently generating trivia.
+struct Coverage {
+  std::uint64_t cases = 0;
+  std::uint64_t with_kills = 0;
+  std::uint64_t with_truncations = 0;
+  std::uint64_t with_retunes = 0;
+  std::uint64_t with_fault_kills = 0;
+  std::uint64_t with_corruption = 0;
+  std::uint64_t with_contention = 0;
+  std::uint64_t priority_rule = 0;
+  std::uint64_t with_conversion = 0;
+  std::uint64_t with_faults = 0;
+  std::uint64_t multi_wavelength = 0;
+  std::uint64_t reference_checked = 0;
+
+  void add(const FuzzCase& fuzz, const DiffReport& report) {
+    ++cases;
+    if (report.metrics.killed > 0) ++with_kills;
+    if (report.metrics.truncated > 0) ++with_truncations;
+    if (report.metrics.retunes > 0) ++with_retunes;
+    if (report.metrics.fault_kills > 0) ++with_fault_kills;
+    if (report.metrics.corrupted > 0) ++with_corruption;
+    if (report.metrics.contentions > 0) ++with_contention;
+    if (fuzz.rule == opto::ContentionRule::Priority) ++priority_rule;
+    if (fuzz.conversion != opto::ConversionMode::None) ++with_conversion;
+    if (fuzz.has_faults) ++with_faults;
+    if (fuzz.bandwidth > 1) ++multi_wavelength;
+    if (!fuzz.has_faults || !fuzz.faults.any_fault()) ++reference_checked;
+  }
+
+  void print() const {
+    std::printf(
+        "coverage: %" PRIu64 " cases | kills %" PRIu64 " | truncations %"
+        PRIu64 " | retunes %" PRIu64 " | fault-kills %" PRIu64
+        " | corruption %" PRIu64 "\n"
+        "          contention %" PRIu64 " | priority-rule %" PRIu64
+        " | conversion %" PRIu64 " | fault-plans %" PRIu64
+        " | multi-lambda %" PRIu64 " | vs-reference %" PRIu64 "\n",
+        cases, with_kills, with_truncations, with_retunes, with_fault_kills,
+        with_corruption, with_contention, priority_rule, with_conversion,
+        with_faults, multi_wavelength, reference_checked);
+  }
+};
+
+/// The behavior a --distill run searches for and preserves while
+/// shrinking. Every distilled anchor must also diff clean — the corpus
+/// pins agreed-upon behavior, not open disagreements.
+std::optional<CasePredicate> behavior_predicate(const std::string& kind) {
+  if (kind == "kill")
+    return CasePredicate{[](const FuzzCase& fuzz) {
+      const DiffReport report = opto::testlib::diff_case(fuzz);
+      return report.ok() && report.metrics.killed > 0;
+    }};
+  if (kind == "truncate")
+    return CasePredicate{[](const FuzzCase& fuzz) {
+      const DiffReport report = opto::testlib::diff_case(fuzz);
+      return report.ok() && report.metrics.truncated_arrivals > 0;
+    }};
+  if (kind == "retune")
+    return CasePredicate{[](const FuzzCase& fuzz) {
+      const DiffReport report = opto::testlib::diff_case(fuzz);
+      return report.ok() && report.metrics.retunes > 0;
+    }};
+  if (kind == "fault")
+    return CasePredicate{[](const FuzzCase& fuzz) {
+      const DiffReport report = opto::testlib::diff_case(fuzz);
+      return report.ok() && report.metrics.fault_kills > 0;
+    }};
+  if (kind == "corrupt")
+    return CasePredicate{[](const FuzzCase& fuzz) {
+      const DiffReport report = opto::testlib::diff_case(fuzz);
+      return report.ok() && report.metrics.corrupted_arrivals > 0;
+    }};
+  return std::nullopt;
+}
+
+int replay_one(const std::string& path, bool strict_bytes, bool quiet) {
+  const auto bytes = read_file(path);
+  if (!bytes) {
+    std::fprintf(stderr, "opto_fuzz: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string error;
+  const auto fuzz = opto::testlib::parse_case(*bytes, &error);
+  if (!fuzz) {
+    std::fprintf(stderr, "opto_fuzz: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  if (strict_bytes && opto::testlib::canonical_json(*fuzz) != *bytes) {
+    std::fprintf(stderr,
+                 "opto_fuzz: %s is not in canonical form (re-save it with "
+                 "--replay + --out, or rewrite via canonical_json)\n",
+                 path.c_str());
+    return 2;
+  }
+  const DiffReport report = opto::testlib::diff_case(*fuzz);
+  if (!report.ok()) {
+    std::printf("FAIL %s\n%s", path.c_str(), report.summary().c_str());
+    return 1;
+  }
+  if (!quiet)
+    std::printf("ok   %s (delivered %" PRIu64 ", killed %" PRIu64
+                ", truncated arrivals %" PRIu64 ")\n",
+                path.c_str(), report.metrics.delivered,
+                report.metrics.killed, report.metrics.truncated_arrivals);
+  return 0;
+}
+
+int replay_dir(const std::string& dir, bool strict_bytes, bool quiet) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json")
+      files.push_back(entry.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "opto_fuzz: cannot list %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "opto_fuzz: no *.json cases in %s\n", dir.c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  int worst = 0;
+  for (const std::string& file : files)
+    worst = std::max(worst, replay_one(file, strict_bytes, quiet));
+  if (worst == 0 && !quiet)
+    std::printf("corpus clean: %zu case(s)\n", files.size());
+  return worst;
+}
+
+std::string sanitize_component(std::string text) {
+  for (char& c : text)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  opto::CliParser cli(
+      "opto_fuzz",
+      "Differential fuzzer: generated cases run through the production "
+      "simulator (twice), the invariant validators, and the reference "
+      "engine; disagreements are shrunk to minimal JSON reproducers");
+  const std::string* seed_text =
+      cli.add_string("seed", "1", "generator stream seed (decimal uint64)");
+  const long long* cases = cli.add_int("cases", 1000, "cases to generate");
+  const std::string* replay =
+      cli.add_string("replay", "", "re-run one saved case file");
+  const std::string* replay_dir_flag =
+      cli.add_string("replay-dir", "", "re-run every *.json case in a dir");
+  const long long* dump = cli.add_int(
+      "dump", -1, "print case INDEX of the stream as canonical JSON");
+  const std::string* distill = cli.add_string(
+      "distill", "",
+      "find + shrink a clean case showing a behavior: kill | truncate | "
+      "retune | fault | corrupt");
+  const std::string* out =
+      cli.add_string("out", "fuzz-out", "directory for repro files");
+  const long long* stop_after =
+      cli.add_int("stop-after", 1, "stop after this many divergences");
+  const long long* shrink_budget = cli.add_int(
+      "shrink-budget", 4000, "max predicate evaluations while shrinking");
+  const long long* progress_every = cli.add_int(
+      "progress-every", 0, "print progress every N cases (0 = off)");
+  const bool* strict_bytes = cli.add_flag(
+      "strict-bytes", "replay: require files to be canonical bytes");
+  const bool* quiet = cli.add_flag("quiet", "only print failures");
+  // Generator knobs (defaults mirror GenOptions).
+  const long long* max_nodes = cli.add_int("max-nodes", 20, "topology size cap");
+  const long long* max_paths = cli.add_int("max-paths", 16, "path count cap");
+  const long long* max_bandwidth =
+      cli.add_int("max-bandwidth", 4, "wavelength count cap");
+  const long long* max_length = cli.add_int("max-length", 9, "worm flit cap");
+  const double* fault_prob =
+      cli.add_double("fault-prob", 0.25, "P(case carries a fault plan)");
+  const double* conversion_prob = cli.add_double(
+      "conversion-prob", 0.45, "P(case uses converting couplers)");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto seed = parse_u64(*seed_text);
+  if (!seed) {
+    std::fprintf(stderr, "opto_fuzz: --seed must be a decimal uint64\n");
+    return 2;
+  }
+  GenOptions gen;
+  gen.max_nodes = static_cast<opto::NodeId>(std::max(1LL, *max_nodes));
+  gen.max_paths = static_cast<std::uint32_t>(std::max(0LL, *max_paths));
+  gen.max_bandwidth =
+      static_cast<std::uint16_t>(std::clamp(*max_bandwidth, 1LL, 1024LL));
+  gen.max_length = static_cast<std::uint32_t>(std::max(1LL, *max_length));
+  gen.fault_probability = std::clamp(*fault_prob, 0.0, 1.0);
+  gen.conversion_probability = std::clamp(*conversion_prob, 0.0, 1.0);
+  ShrinkOptions shrink;
+  shrink.max_checks =
+      static_cast<std::uint32_t>(std::clamp(*shrink_budget, 1LL, 1000000LL));
+
+  if (!replay->empty()) return replay_one(*replay, *strict_bytes, *quiet);
+  if (!replay_dir_flag->empty())
+    return replay_dir(*replay_dir_flag, *strict_bytes, *quiet);
+
+  if (*dump >= 0) {
+    const FuzzCase fuzz = opto::testlib::generate_case(
+        *seed, static_cast<std::uint64_t>(*dump), gen);
+    std::fputs(opto::testlib::canonical_json(fuzz).c_str(), stdout);
+    return 0;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(*out, ec);  // best-effort; write checks
+
+  if (!distill->empty()) {
+    const auto predicate = behavior_predicate(*distill);
+    if (!predicate) {
+      std::fprintf(stderr,
+                   "opto_fuzz: unknown --distill behavior '%s' (want kill | "
+                   "truncate | retune | fault | corrupt)\n",
+                   distill->c_str());
+      return 2;
+    }
+    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(*cases); ++i) {
+      FuzzCase fuzz = opto::testlib::generate_case(*seed, i, gen);
+      if (!(*predicate)(fuzz)) continue;
+      ShrinkStats stats;
+      const FuzzCase small = opto::testlib::shrink_case(
+          std::move(fuzz), *predicate, shrink, &stats);
+      const std::string path = *out + "/distilled_" +
+                               sanitize_component(*distill) + ".json";
+      if (!write_file(path, opto::testlib::canonical_json(small))) {
+        std::fprintf(stderr, "opto_fuzz: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      std::printf("distilled '%s' from case %" PRIu64 " -> %s "
+                  "(%u checks, %u improvements)\n",
+                  distill->c_str(), i, path.c_str(), stats.checks,
+                  stats.improvements);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "opto_fuzz: no case in %lld tries showed '%s' — raise "
+                 "--cases or loosen generator caps\n",
+                 *cases, distill->c_str());
+    return 1;
+  }
+
+  // Default mode: the fuzz loop.
+  Coverage coverage;
+  std::uint64_t failures = 0;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(*cases); ++i) {
+    const FuzzCase fuzz = opto::testlib::generate_case(*seed, i, gen);
+    const DiffReport report = opto::testlib::diff_case(fuzz);
+    coverage.add(fuzz, report);
+    if (*progress_every > 0 &&
+        (i + 1) % static_cast<std::uint64_t>(*progress_every) == 0)
+      std::printf("... %" PRIu64 "/%lld cases, %" PRIu64 " failure(s)\n",
+                  i + 1, *cases, failures);
+    if (report.ok()) continue;
+
+    ++failures;
+    std::printf("DIVERGENCE at seed %" PRIu64 " case %" PRIu64 ":\n%s",
+                *seed, i, report.summary().c_str());
+    const CasePredicate still_failing = [](const FuzzCase& candidate) {
+      return !opto::testlib::diff_case(candidate).ok();
+    };
+    ShrinkStats stats;
+    const FuzzCase small =
+        opto::testlib::shrink_case(fuzz, still_failing, shrink, &stats);
+    std::ostringstream name;
+    name << *out << "/repro_seed" << *seed << "_case" << i << ".json";
+    if (!write_file(name.str(), opto::testlib::canonical_json(small))) {
+      std::fprintf(stderr, "opto_fuzz: cannot write %s\n",
+                   name.str().c_str());
+      return 2;
+    }
+    std::printf("  shrunk (%u checks, %u improvements) -> %s\n"
+                "  replay with: opto_fuzz --replay %s\n",
+                stats.checks, stats.improvements, name.str().c_str(),
+                name.str().c_str());
+    if (failures >= static_cast<std::uint64_t>(std::max(1LL, *stop_after)))
+      break;
+  }
+
+  if (!*quiet) coverage.print();
+  if (failures > 0) {
+    std::printf("%" PRIu64 " divergence(s) found\n", failures);
+    return 1;
+  }
+  if (!*quiet)
+    std::printf("clean: %" PRIu64 " case(s), seed %" PRIu64 "\n",
+                coverage.cases, *seed);
+  return 0;
+}
