@@ -115,6 +115,7 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
   sim_config.conversion = config_.conversion;
   sim_config.converters = config_.converters;
   sim_config.faults = &fault_plan;
+  sim_config.sharding = config_.sharding;
   Simulator forward_sim(collection_, sim_config);
   // The ack simulator and every per-round buffer live outside the round
   // loop: together with the simulator's own pass-state reuse this makes

@@ -61,7 +61,11 @@ void parallel_for_chunked(
   if (pool == nullptr) pool = &ThreadPool::global();
   const std::size_t count = end - begin;
   const std::size_t workers = pool->thread_count();
-  if (workers <= 1 || count == 1) {
+  // Run inline from a worker of the same pool: blocking in wait() while
+  // our chunks sit behind other blocked workers' chunks can deadlock the
+  // pool (nested parallel_for, e.g. a sharded simulator pass inside a
+  // parallel trial).
+  if (workers <= 1 || count == 1 || pool->on_worker_thread()) {
     body(begin, end);
     return;
   }

@@ -6,6 +6,14 @@
 #include "opto/util/string_util.hpp"
 
 namespace opto {
+namespace {
+
+/// Identity of the pool whose worker_loop owns the current thread.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -48,6 +56,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   // Completion is RAII: a throwing task must still decrement the
   // in-flight count, or wait_idle() (and every parallel_for built on the
   // pool) would block forever.

@@ -38,6 +38,12 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when the calling thread is one of THIS pool's workers. Nested
+  /// data-parallel code uses it to detect that blocking on the pool could
+  /// deadlock (every worker waiting on chunks only workers can run) and
+  /// falls back to inline execution instead.
+  bool on_worker_thread() const;
+
   /// Process-wide pool, sized by OPTO_THREADS env var when set.
   static ThreadPool& global();
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -30,11 +31,44 @@ struct CollectionStats {
   double avg_length = 0.0;
 };
 
+/// SoA view of the collection: every path's link sequence concatenated
+/// into one contiguous array. Path p's links live at
+/// [offsets[p], offsets[p+1]); the simulator's hot loop walks a cursor
+/// through `links` instead of chasing Path objects per worm per step.
+struct FlatPaths {
+  std::vector<std::uint32_t> offsets;  ///< size() + 1 entries
+  std::vector<EdgeId> links;           ///< all paths' links, concatenated
+};
+
+/// Partition of the paths into *contention components*: the connected
+/// components of the "shares a directed link" relation. Worms on paths in
+/// different components can never interact — not through occupancy,
+/// contention, truncation, witnesses, or wavelength conversion — which is
+/// the independence the simulator's sharded pass mode exploits (and the
+/// same edge-disjointness the paper's witness-tree bounds rest on).
+/// Components are numbered by first appearance in path-id order, so the
+/// labelling is canonical and reproducible.
+struct ComponentDecomposition {
+  std::uint32_t count = 0;
+  std::vector<std::uint32_t> component_of;  ///< per PathId
+  std::vector<std::uint32_t> sizes;         ///< paths per component
+};
+
 class PathCollection {
  public:
   PathCollection() = default;
   explicit PathCollection(std::shared_ptr<const Graph> graph)
       : graph_(std::move(graph)) {}
+
+  // Copies and moves transfer the graph and paths but not the derived
+  // caches (they rebuild on demand); required because the cache mutex is
+  // neither copyable nor movable.
+  PathCollection(const PathCollection& other)
+      : graph_(other.graph_), paths_(other.paths_) {}
+  PathCollection(PathCollection&& other) noexcept
+      : graph_(std::move(other.graph_)), paths_(std::move(other.paths_)) {}
+  PathCollection& operator=(const PathCollection& other);
+  PathCollection& operator=(PathCollection&& other) noexcept;
 
   const Graph& graph() const { return *graph_; }
   std::shared_ptr<const Graph> graph_ptr() const { return graph_; }
@@ -73,9 +107,28 @@ class PathCollection {
 
   CollectionStats stats() const;
 
+  /// Cached flattened link array; built lazily (thread-safe) and
+  /// invalidated by add(). The returned reference — and any spans into it
+  /// — stays valid until the next mutation of the collection.
+  const FlatPaths& flat_paths() const;
+
+  /// Cached contention-component decomposition (union-find over "first
+  /// path seen per directed link", O(Σ lengths · α)); same lifetime and
+  /// invalidation rules as flat_paths().
+  const ComponentDecomposition& components() const;
+
  private:
+  void invalidate_caches();
+
   std::shared_ptr<const Graph> graph_;
   std::vector<Path> paths_;
+
+  // Derived-view caches; mutable + mutex-guarded so concurrent readers
+  // (parallel trials each constructing a Simulator on one shared
+  // collection) build them exactly once.
+  mutable std::mutex cache_mutex_;
+  mutable std::unique_ptr<FlatPaths> flat_cache_;
+  mutable std::unique_ptr<ComponentDecomposition> component_cache_;
 };
 
 /// Builds a single-graph collection from explicit node sequences

@@ -7,6 +7,8 @@
 #include <numeric>
 
 #include "opto/obs/obs.hpp"
+#include "opto/par/parallel_for.hpp"
+#include "opto/par/thread_pool.hpp"
 #include "opto/util/assert.hpp"
 #include "opto/util/timer.hpp"
 
@@ -52,6 +54,31 @@ bool profile_enabled() {
   return enabled;
 }
 
+/// OPTO_PASS_SHARDING=0 is the escape hatch that pins PassSharding::Auto
+/// to the sequential engine (an explicit SimConfig On/Off wins either
+/// way); anything else — including unset — leaves Auto live.
+bool sharding_env_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("OPTO_PASS_SHARDING");
+    return env == nullptr || !(env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
+
+/// Auto mode only shards passes with at least this many specs: below it
+/// the per-shard setup (injection sorts, registry resets, merge) costs
+/// more than the pass. Deliberately independent of the pool width — the
+/// mode decision shapes instrumentation counters that the determinism CI
+/// byte-compares across OPTO_THREADS.
+constexpr std::size_t kAutoShardMinSpecs = 64;
+
+/// Upper bound on shard buckets per pass. Active components are packed
+/// into at most this many buckets (LPT by spec count), which bounds both
+/// the shard-simulator memory and the all-singleton pathology (thousands
+/// of one-worm components) while still feeding every practical pool. A
+/// fixed constant, again so results never depend on OPTO_THREADS.
+constexpr std::size_t kMaxShards = 16;
+
 /// Pass-granular obs counters (one batch of relaxed adds per pass, not
 /// per step — the hot loop stays untouched). Static handles: the name
 /// registration happens once per process.
@@ -69,6 +96,14 @@ struct SimObsCounters {
   obs::Counter corrupted_arrivals{"sim.corrupted_arrivals"};
   obs::Counter registry_probes{"sim.registry_probes"};
   obs::Counter registry_hits{"sim.registry_hits"};
+};
+
+/// Sharded-pass observability: how often the component engine engages
+/// and how many active components each sharded pass decomposed into
+/// (components / sharded_passes = average decomposition width).
+struct ShardObsCounters {
+  obs::Counter sharded_passes{"sim.sharded_passes"};
+  obs::Counter components{"sim.components"};
 };
 
 void record_pass_observation(const PassMetrics& metrics) {
@@ -108,6 +143,28 @@ Simulator::Simulator(const PathCollection& collection, SimConfig config)
   if (config_.conversion == ConversionMode::Sparse)
     OPTO_ASSERT_MSG(config_.converters.size() >= collection.graph().node_count(),
                     "Sparse conversion needs a per-node converter flag");
+  // Snapshot the collection's derived views once (they are built lazily
+  // and stay valid until the collection mutates — which the lifetime
+  // contract forbids while simulators exist).
+  const FlatPaths& flat = collection.flat_paths();
+  flat_offsets_ = {flat.offsets.data(), flat.offsets.size()};
+  flat_links_ = {flat.links.data(), flat.links.size()};
+  components_ = &collection.components();
+  if (config_.conversion != ConversionMode::None) {
+    const Graph& graph = collection.graph();
+    link_converts_.resize(graph.link_count());
+    for (EdgeId link = 0; link < graph.link_count(); ++link)
+      link_converts_[link] = converts_at(graph.source(link)) ? 1 : 0;
+  }
+}
+
+bool Simulator::use_sharding(std::span<const LaunchSpec> specs) const {
+  if (config_.sharding == PassSharding::Off) return false;
+  if (components_->count < 2) return false;
+  if (config_.sharding == PassSharding::Auto &&
+      (!sharding_env_enabled() || specs.size() < kAutoShardMinSpecs))
+    return false;
+  return true;
 }
 
 bool Simulator::converts_at(NodeId node) const {
@@ -169,6 +226,7 @@ void Simulator::apply_truncation(WormId victim, std::uint32_t cut_link_index,
     const SimTime done = worm.entry_time(path.length() - 1) + worm.length - 1;
     if (done < now) {
       worm.status = WormStatus::Delivered;
+      status_[victim] = WormStatus::Delivered;
       worm.finish_time = done;
       ++result.metrics.truncated_arrivals;  // a cut worm is never intact
       result.trace.record({now, TraceKind::Deliver, victim, kInvalidEdge,
@@ -184,8 +242,160 @@ PassResult Simulator::run(std::span<const LaunchSpec> specs) {
 }
 
 void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
+  if (use_sharding(specs))
+    run_sharded(specs, result);
+  else
+    run_pass(specs, result);
+}
+
+void Simulator::run_sharded(std::span<const LaunchSpec> specs,
+                            PassResult& result) {
   const bool profile = profile_enabled();
   const obs::ScopedTimer obs_timer("sim.pass");
+  Timer timer;
+  const ComponentDecomposition& dec = *components_;
+
+  // 1. Find the components active in this pass (epoch-stamped: O(specs),
+  //    not O(total components)) and their spec counts.
+  if (comp_stamp_.size() < dec.count) {
+    comp_stamp_.assign(dec.count, 0);
+    comp_slot_.resize(dec.count);
+    pass_epoch_ = 0;
+  }
+  if (++pass_epoch_ == 0) {  // stamp wraparound: restamp from scratch
+    std::fill(comp_stamp_.begin(), comp_stamp_.end(), 0u);
+    pass_epoch_ = 1;
+  }
+  active_counts_.clear();
+  for (const LaunchSpec& spec : specs) {
+    OPTO_ASSERT(spec.path < collection_.size());
+    const std::uint32_t comp = dec.component_of[spec.path];
+    if (comp_stamp_[comp] != pass_epoch_) {
+      comp_stamp_[comp] = pass_epoch_;
+      comp_slot_[comp] = static_cast<std::uint32_t>(active_counts_.size());
+      active_counts_.push_back(0);
+    }
+    ++active_counts_[comp_slot_[comp]];
+  }
+  const std::size_t active = active_counts_.size();
+  if (active < 2) {  // everything in one component: nothing to shard
+    run_pass(specs, result);
+    return;
+  }
+
+  // 2. Pack active components into ≤ kMaxShards buckets, largest spec
+  //    count first onto the least-loaded bucket (deterministic LPT; ties
+  //    break to the lower slot/bucket). Disjoint unions of edge-disjoint
+  //    components are still edge-disjoint, so buckets stay independent.
+  const std::size_t buckets = std::min(kMaxShards, active);
+  comp_order_.resize(active);
+  std::iota(comp_order_.begin(), comp_order_.end(), 0u);
+  std::sort(comp_order_.begin(), comp_order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return active_counts_[a] != active_counts_[b]
+                         ? active_counts_[a] > active_counts_[b]
+                         : a < b;
+            });
+  bucket_of_slot_.resize(active);
+  std::uint64_t bucket_load[kMaxShards] = {};
+  for (const std::uint32_t slot : comp_order_) {
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < buckets; ++b)
+      if (bucket_load[b] < bucket_load[best]) best = b;
+    bucket_of_slot_[slot] = static_cast<std::uint32_t>(best);
+    bucket_load[best] += active_counts_[slot];
+  }
+
+  // 3. Scatter the specs (keeping global spec order within each bucket;
+  //    a shard's worm ids are indices into its bucket, mapped back to
+  //    global spec ids through shard_ids_).
+  if (shard_specs_.size() < buckets) {
+    shard_specs_.resize(buckets);
+    shard_ids_.resize(buckets);
+    shard_results_.resize(buckets);
+  }
+  while (shards_.size() < buckets) {
+    SimConfig shard_config = config_;
+    shard_config.sharding = PassSharding::Off;
+    shard_config.pool = nullptr;
+    shard_config.record_trace = false;  // armed per pass below
+    shards_.push_back(
+        std::make_unique<Simulator>(collection_, std::move(shard_config)));
+    shards_.back()->is_shard_ = true;
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    shard_specs_[b].clear();
+    shard_ids_[b].clear();
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::size_t b =
+        bucket_of_slot_[comp_slot_[dec.component_of[specs[i].path]]];
+    shard_specs_[b].push_back(specs[i]);
+    shard_ids_[b].push_back(static_cast<WormId>(i));
+  }
+
+  // 4. Run every bucket's full pass independently. parallel_for falls
+  //    back to inline execution on a single-thread pool or when already
+  //    on a worker of this pool (nested inside a parallel trial).
+  ThreadPool* pool = config_.pool != nullptr ? config_.pool
+                                             : &ThreadPool::global();
+  parallel_for(
+      0, buckets,
+      [this](std::size_t b) {
+        Simulator& shard = *shards_[b];
+        shard.config_.record_trace = config_.record_trace;
+        shard.shard_global_ids_ = {shard_ids_[b].data(), shard_ids_[b].size()};
+        shard.run_pass({shard_specs_[b].data(), shard_specs_[b].size()},
+                       shard_results_[b]);
+      },
+      pool);
+
+  // 5. Deterministic merge, in bucket order: outcomes scatter back to the
+  //    global spec index (witness ids remapped shard-local → global),
+  //    metrics sum/max component-wise, and the trace is rebuilt in the
+  //    canonical (time, kind, worm, …) order — the same order the
+  //    sequential trace canonicalizes to, since the event sets match.
+  result.trace.reset(config_.record_trace);
+  result.metrics = PassMetrics{};
+  result.worms.assign(specs.size(), WormOutcome{});
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::vector<WormId>& ids = shard_ids_[b];
+    result.metrics.merge(shard_results_[b].metrics);
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      WormOutcome outcome = shard_results_[b].worms[j];
+      if (outcome.blocked_by != kInvalidWorm)
+        outcome.blocked_by = ids[outcome.blocked_by];
+      result.worms[ids[j]] = outcome;
+    }
+  }
+  if (config_.record_trace) {
+    trace_merge_.clear();
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::vector<WormId>& ids = shard_ids_[b];
+      for (TraceEvent event : shard_results_[b].trace.events()) {
+        event.worm = ids[event.worm];
+        if (event.other != kInvalidWorm) event.other = ids[event.other];
+        trace_merge_.push_back(event);
+      }
+    }
+    std::sort(trace_merge_.begin(), trace_merge_.end(), canonical_less);
+    for (const TraceEvent& event : trace_merge_) result.trace.record(event);
+  }
+  if (profile)
+    result.metrics.wall_ns =
+        static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e9);
+  if (obs::enabled()) {
+    record_pass_observation(result.metrics);
+    static ShardObsCounters shard_counters;
+    shard_counters.sharded_passes.add(1);
+    shard_counters.components.add(active);
+  }
+}
+
+void Simulator::run_pass(std::span<const LaunchSpec> specs,
+                         PassResult& result) {
+  const bool profile = profile_enabled();
+  const obs::ScopedTimer obs_timer(is_shard_ ? "sim.shard_pass" : "sim.pass");
   Timer timer;
   result.trace.reset(config_.record_trace);
   result.metrics = PassMetrics{};
@@ -219,8 +429,13 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     for (WormId id = 0; id < count; ++id) wavelength_history_[id].clear();
   }
 
-  // Materialize worm state.
+  // Materialize worm state: the Worm records plus the SoA mirrors the
+  // hot loop reads (flat-link cursor, wavelength, status byte).
   worms_.assign(count, Worm{});
+  cursor_.resize(count);
+  cursor_end_.resize(count);
+  wl_.resize(count);
+  status_.assign(count, WormStatus::Waiting);
   for (WormId id = 0; id < count; ++id) {
     const LaunchSpec& spec = specs[id];
     OPTO_ASSERT(spec.path < collection_.size());
@@ -233,6 +448,9 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     worm.start_time = spec.start_time;
     worm.original_length = spec.length;
     worm.length = spec.length;
+    cursor_[id] = flat_offsets_[spec.path];
+    cursor_end_[id] = flat_offsets_[spec.path + 1];
+    wl_[id] = spec.wavelength;
   }
 
   // Injection order: by start time, ties in worm id (the order a stable
@@ -291,6 +509,7 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
   const auto finish_kill = [&](WormId id, SimTime t, WormId blocker) {
     Worm& worm = worms_[id];
     worm.status = WormStatus::Killed;
+    status_[id] = WormStatus::Killed;
     worm.blocked_at_link = worm.head_index;
     worm.finish_time = t;
     ++result.metrics.killed;
@@ -303,6 +522,7 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
   const auto finish_delivery = [&](WormId id, SimTime t) {
     Worm& worm = worms_[id];
     worm.status = WormStatus::Delivered;
+    status_[id] = WormStatus::Delivered;
     worm.finish_time = t;
     if (worm.truncated)
       ++result.metrics.truncated_arrivals;
@@ -320,6 +540,7 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
   const auto fault_kill = [&](WormId id, EdgeId link, SimTime t) {
     Worm& worm = worms_[id];
     worm.status = WormStatus::Killed;
+    status_[id] = WormStatus::Killed;
     worm.fault_killed = true;
     worm.blocked_at_link = worm.head_index;
     worm.finish_time = t;
@@ -334,6 +555,7 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     if (convert) {
       wavelength_history_[id].push_back(wl);
       worm.wavelength = wl;
+      wl_[id] = wl;
     }
     Claim claim;
     claim.worm = id;
@@ -347,12 +569,16 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     if (retuned) ++result.metrics.retunes;
     // Flit corruption: the worm keeps travelling (and occupying links) but
     // its payload is void — the destination will reject the delivery.
-    if (faults_on && !worm.corrupted && plan->corrupts_flit(id, link)) {
+    // corrupts_flit hashes the worm id, so a shard must query with the
+    // pass-global id or its corruption draws would diverge.
+    if (faults_on && !worm.corrupted &&
+        plan->corrupts_flit(global_worm_id(id), link)) {
       worm.corrupted = true;
       ++result.metrics.corrupted;
       result.trace.record({now, TraceKind::Corrupt, id, link, wl, kInvalidWorm});
     }
     ++worm.head_index;
+    ++cursor_[id];
     ++result.metrics.worm_steps;
     result.metrics.link_busy_steps += worm.length;
   };
@@ -520,6 +746,7 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
       Worm& worm = worms_[id];
       OPTO_ASSERT(worm.status == WormStatus::Waiting);
       worm.status = WormStatus::Running;
+      status_[id] = WormStatus::Running;
       ++result.metrics.launched;
       const Path& path = collection_.path(worm.path);
       result.trace.record({now, TraceKind::Inject, id,
@@ -555,18 +782,19 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     if (packed_attempts) {
       attempt_keys_.clear();
       for (WormId id : running_) {
-        const Worm& worm = worms_[id];
-        OPTO_DASSERT(worm.status == WormStatus::Running);
-        OPTO_DASSERT(worm.entry_time(worm.head_index) == now);
-        const EdgeId link = collection_.path(worm.path).link(worm.head_index);
+        OPTO_DASSERT(status_[id] == WormStatus::Running);
+        OPTO_DASSERT(worms_[id].entry_time(worms_[id].head_index) == now);
+        // SoA fast path: the head's link, wavelength, and the coupler's
+        // conversion capability come from flat parallel arrays — no
+        // Worm → Path → Graph chase per worm per step.
+        const EdgeId link = flat_links_[cursor_[id]];
         if (faults_on && fault_blocks_entry(link)) {
           fault_kill(id, link, now);
           continue;
         }
-        const bool merge_wavelengths =
-            convert && converts_at(collection_.graph().source(link));
+        const bool merge_wavelengths = convert && link_converts_[link] != 0;
         const std::uint32_t key =
-            (link << 17) | (merge_wavelengths ? 0x10000u : worm.wavelength);
+            (link << 17) | (merge_wavelengths ? 0x10000u : wl_[id]);
         attempt_keys_.push_back((static_cast<std::uint64_t>(key) << id_bits) |
                                 id);
       }
@@ -596,19 +824,17 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     } else {
       attempts_.clear();
       for (WormId id : running_) {
-        const Worm& worm = worms_[id];
-        OPTO_DASSERT(worm.status == WormStatus::Running);
-        OPTO_DASSERT(worm.entry_time(worm.head_index) == now);
-        const EdgeId link = collection_.path(worm.path).link(worm.head_index);
+        OPTO_DASSERT(status_[id] == WormStatus::Running);
+        OPTO_DASSERT(worms_[id].entry_time(worms_[id].head_index) == now);
+        const EdgeId link = flat_links_[cursor_[id]];
         if (faults_on && fault_blocks_entry(link)) {
           fault_kill(id, link, now);
           continue;
         }
-        const bool merge_wavelengths =
-            convert && converts_at(collection_.graph().source(link));
+        const bool merge_wavelengths = convert && link_converts_[link] != 0;
         const std::uint64_t key =
             (static_cast<std::uint64_t>(link) << 17) |
-            (merge_wavelengths ? 0x10000u : worm.wavelength);
+            (merge_wavelengths ? 0x10000u : wl_[id]);
         attempts_.push_back({key, id});
       }
       std::sort(attempts_.begin(), attempts_.end(),
@@ -636,9 +862,9 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     //    early by a truncation), move finished heads to the draining set.
     std::size_t keep = 0;
     for (WormId id : running_) {
-      Worm& worm = worms_[id];
-      if (worm.status != WormStatus::Running) continue;
-      if (worm.head_index == collection_.path(worm.path).length())
+      if (status_[id] != WormStatus::Running) continue;
+      OPTO_DASSERT(worms_[id].status == WormStatus::Running);
+      if (cursor_[id] == cursor_end_[id])  // head entered its last link
         draining_.push_back(id);
       else
         running_[keep++] = id;
@@ -650,8 +876,8 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
     //    finalizes inside apply_truncation, so `done` is never stale here.
     keep = 0;
     for (WormId id : draining_) {
+      if (status_[id] != WormStatus::Running) continue;  // finalized early
       Worm& worm = worms_[id];
-      if (worm.status != WormStatus::Running) continue;  // finalized early
       const Path& path = collection_.path(worm.path);
       const SimTime done =
           worm.entry_time(path.length() - 1) + worm.length - 1;
@@ -695,7 +921,10 @@ void Simulator::run(std::span<const LaunchSpec> specs, PassResult& result) {
   if (profile)
     result.metrics.wall_ns =
         static_cast<std::uint64_t>(timer.elapsed_seconds() * 1e9);
-  if (obs::enabled()) record_pass_observation(result.metrics);
+  // A shard's counters reach obs once, through the parent's merged
+  // metrics — recording here too would double-count every pass-level
+  // statistic.
+  if (obs::enabled() && !is_shard_) record_pass_observation(result.metrics);
 }
 
 }  // namespace opto

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -33,6 +34,21 @@
 #include "opto/sim/trace.hpp"
 
 namespace opto {
+
+class ThreadPool;
+
+/// Contention-component sharding of a pass (DESIGN.md §7). Paths in
+/// different components share no directed link, so their worms can never
+/// interact; a sharded pass runs each component group on the thread pool
+/// and merges deterministically. Model-level output (worm outcomes, model
+/// metrics, the canonical trace) is identical in every mode and invariant
+/// across pool widths; only the engine-local instrumentation counters
+/// (steps, registry probes, peak_inflight) differ between Off and On.
+enum class PassSharding : std::uint8_t {
+  Auto,  ///< shard large multi-component passes unless OPTO_PASS_SHARDING=0
+  Off,   ///< always the sequential engine
+  On,    ///< shard whenever ≥ 2 components are active (ignores the env gate)
+};
 
 /// Wavelength-conversion capability (§4 / the [11] comparator). The paper
 /// studies the conversion-free case; Full models converters at every
@@ -56,6 +72,10 @@ struct SimConfig {
   /// simulator. Null — or a disabled zero-fault plan — leaves every code
   /// path and outcome bit-identical to the fault-free engine.
   const FaultPlan* faults = nullptr;
+  /// Contention-component parallelism for run(); see PassSharding.
+  PassSharding sharding = PassSharding::Auto;
+  /// Pool used by sharded passes; null selects ThreadPool::global().
+  ThreadPool* pool = nullptr;
 };
 
 /// Launch parameters for one worm (chosen by the protocol layer).
@@ -94,7 +114,9 @@ struct PassResult {
 
 class Simulator {
  public:
-  /// The collection must outlive the simulator.
+  /// The collection must outlive the simulator and must not gain paths
+  /// while any simulator built on it is in use (construction snapshots
+  /// the collection's flattened-link and component caches).
   Simulator(const PathCollection& collection, SimConfig config);
 
   /// Simulates one forward pass of all `specs` worms to quiescence.
@@ -118,9 +140,32 @@ class Simulator {
 
   bool converts_at(NodeId node) const;
 
+  /// The sequential engine: one pass over `specs` to quiescence.
+  void run_pass(std::span<const LaunchSpec> specs, PassResult& result);
+
+  /// The sharded engine: groups specs by contention component, runs each
+  /// group on an independent shard simulator, merges deterministically.
+  void run_sharded(std::span<const LaunchSpec> specs, PassResult& result);
+
+  bool use_sharding(std::span<const LaunchSpec> specs) const;
+
+  /// Worm id as the fault plan (and the caller) sees it: shard-local ids
+  /// map back through the parent's spec indices.
+  WormId global_worm_id(WormId id) const {
+    return shard_global_ids_.empty() ? id : shard_global_ids_[id];
+  }
+
   const PathCollection& collection_;
   SimConfig config_;
   OccupancyRegistry registry_;
+
+  // Immutable per-collection views, snapshotted at construction (SoA hot
+  // path + sharding decisions): the flattened link array, the contention
+  // components, and the per-link "source node converts" bitmap.
+  std::span<const std::uint32_t> flat_offsets_;
+  std::span<const EdgeId> flat_links_;
+  const ComponentDecomposition* components_ = nullptr;
+  std::vector<char> link_converts_;  ///< sized iff conversion is enabled
 
   // Pass-state scratch, hoisted so repeated run() calls reuse capacity
   // (zero steady-state allocation across protocol rounds). All of it is
@@ -141,6 +186,35 @@ class Simulator {
   std::vector<std::optional<Claim>> conv_occupant_;
   std::vector<WormId> conv_admitted_;
   std::vector<WormId> conv_order_;
+
+  // SoA per-worm hot-loop state, parallel to worms_: the head's index
+  // into flat_links_ (and its one-past-the-end bound), the current
+  // wavelength, and the status byte — attempt collection touches only
+  // these flat arrays.
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::uint32_t> cursor_end_;
+  std::vector<Wavelength> wl_;
+  std::vector<WormStatus> status_;
+
+  // Sharded-pass state. The parent keeps a bounded set of shard
+  // simulators (≤ kMaxShards, lazily built, reused across passes — zero
+  // steady-state allocation); each shard is a plain sequential Simulator
+  // whose worm ids are spec indices into its bucket.
+  bool is_shard_ = false;
+  std::span<const WormId> shard_global_ids_;  ///< set on shards by parent
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::vector<LaunchSpec>> shard_specs_;
+  std::vector<std::vector<WormId>> shard_ids_;  ///< bucket → global spec ids
+  std::vector<PassResult> shard_results_;
+  // Active-component bookkeeping (epoch-stamped so a pass touching few of
+  // many components stays O(active), not O(total components)).
+  std::vector<std::uint32_t> comp_stamp_;
+  std::vector<std::uint32_t> comp_slot_;
+  std::uint32_t pass_epoch_ = 0;
+  std::vector<std::uint32_t> active_counts_;
+  std::vector<std::uint32_t> comp_order_;
+  std::vector<std::uint32_t> bucket_of_slot_;
+  std::vector<TraceEvent> trace_merge_;
 };
 
 }  // namespace opto

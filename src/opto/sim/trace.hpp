@@ -32,7 +32,16 @@ struct TraceEvent {
   EdgeId link = kInvalidEdge;     ///< link involved (invalid for Deliver)
   Wavelength wavelength = 0;
   WormId other = kInvalidWorm;    ///< blocker / truncator when applicable
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
+
+/// Canonical total order on events: (time, kind, worm, link, wavelength,
+/// other). The sequential engine emits same-time events in resolution
+/// order; the sharded engine merges per-component traces under this key.
+/// Sorting either engine's trace yields the same sequence — within one
+/// step no two events agree on all six fields, so the order is total.
+bool canonical_less(const TraceEvent& a, const TraceEvent& b);
 
 class Trace {
  public:
@@ -67,5 +76,11 @@ class Trace {
   bool enabled_;
   std::vector<TraceEvent> events_;
 };
+
+/// Copy of the trace's events sorted into the canonical order (the live
+/// trace keeps its emission order). Two engine modes producing the same
+/// event *set* compare equal through this view regardless of how they
+/// interleaved same-step work.
+std::vector<TraceEvent> canonical_events(const Trace& trace);
 
 }  // namespace opto

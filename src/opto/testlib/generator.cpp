@@ -100,7 +100,7 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
   // --- Topology ---------------------------------------------------------
   OPTO_ASSERT(options.max_nodes >= 2);
   NodeId n = 2 + static_cast<NodeId>(rng.next_below(options.max_nodes - 1));
-  const std::uint64_t family = rng.next_below(6);
+  const std::uint64_t family = rng.next_below(8);
   EdgeSet edges;
   switch (family) {
     case 0:  // chain — the lower-bound structures' contention shape
@@ -132,9 +132,35 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
       if (half < n) edges.add(0, half);
       break;
     }
+    case 6: {  // disjoint chain segments — many edge-disjoint paths, so
+               // cases decompose into k components (all-singleton when
+               // every path lands in its own segment)
+      const NodeId segments = 2 + static_cast<NodeId>(rng.next_below(4));
+      const NodeId segment = std::max<NodeId>(2, n / segments);
+      for (NodeId i = 0; i + 1 < n; ++i)
+        if ((i + 1) % segment != 0) edges.add(i, i + 1);
+      break;
+    }
+    case 7: {  // few shared hubs, many private tails: BFS paths funnel
+               // through the hub edges while walks stay inside one tail —
+               // a mix of one big component and private singletons
+      const NodeId hubs =
+          1 + static_cast<NodeId>(rng.next_below(std::min<NodeId>(2, n - 1)));
+      for (NodeId h = 1; h < hubs; ++h) edges.add(h - 1, h);
+      for (NodeId i = hubs; i < n; ++i) {
+        if (i == hubs || rng.next_bernoulli(0.35))
+          edges.add(static_cast<NodeId>(rng.next_below(hubs)), i);  // new tail
+        else
+          edges.add(i - 1, i);  // extend the previous tail
+      }
+      break;
+    }
   }
   fuzz.node_count = n;
-  if (family != 3 && family != 5 && rng.next_bernoulli(0.5)) {
+  // Random chords would reconnect family 6's segments (and blur family
+  // 7's hub/tail split), defeating their multi-component purpose — the
+  // decomposition families keep their structure chord-free.
+  if (family != 3 && family != 5 && family < 6 && rng.next_bernoulli(0.5)) {
     const std::uint64_t chords = rng.next_below(options.max_extra_edges + 1);
     for (std::uint64_t c = 0; c < chords; ++c)
       edges.add(static_cast<NodeId>(rng.next_below(n)),

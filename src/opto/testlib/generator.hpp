@@ -8,7 +8,9 @@
 // corpus rest on.
 //
 // Coverage strategy: each case draws a topology family (chain, ring,
-// star, clique, random tree + chords, bridged double clique), a path
+// star, clique, random tree + chords, bridged double clique, disjoint
+// chain segments, hubs + private tails — the last two aimed at multi-
+// component and all-singleton contention decompositions), a path
 // mix (BFS shortest paths, random simple walks, duplicated hot paths,
 // zero-length paths), and a config mix across contention rules, tie
 // policies, bandwidths, conversion modes, and optional fault plans —

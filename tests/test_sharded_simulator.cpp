@@ -1,0 +1,251 @@
+// Sharded pass mode (DESIGN.md §7): the component-sharded engine must be
+// byte-identical to the sequential engine on every model-level output —
+// rendered metrics JSON and the canonical trace — and invariant across
+// thread-pool widths, on leveled, short-cut-free, faulty, and
+// wavelength-converting workloads; plus the protocol-level contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opto/core/trial_and_failure.hpp"
+#include "opto/par/thread_pool.hpp"
+#include "opto/paths/leveled.hpp"
+#include "opto/paths/lowerbound_structures.hpp"
+#include "opto/paths/shortcut_free.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/sim/simulator.hpp"
+#include "opto/util/json.hpp"
+
+namespace opto {
+namespace {
+
+/// The model-level metrics as one JSON document — the fields DESIGN.md §7
+/// guarantees are mode-invariant (engine-local instrumentation counters
+/// are deliberately absent).
+std::string model_metrics_json(const PassMetrics& m) {
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    json.begin_object();
+    json.key("launched"), json.value(m.launched);
+    json.key("delivered"), json.value(m.delivered);
+    json.key("killed"), json.value(m.killed);
+    json.key("truncated"), json.value(m.truncated);
+    json.key("truncated_arrivals"), json.value(m.truncated_arrivals);
+    json.key("contentions"), json.value(m.contentions);
+    json.key("retunes"), json.value(m.retunes);
+    json.key("fault_kills"), json.value(m.fault_kills);
+    json.key("corrupted"), json.value(m.corrupted);
+    json.key("corrupted_arrivals"), json.value(m.corrupted_arrivals);
+    json.key("makespan"), json.value(static_cast<std::int64_t>(m.makespan));
+    json.key("worm_steps"), json.value(m.worm_steps);
+    json.key("link_busy_steps"), json.value(m.link_busy_steps);
+    json.end_object();
+  }
+  return os.str();
+}
+
+std::string canonical_trace_text(const Trace& trace) {
+  std::string text;
+  for (const TraceEvent& event : canonical_events(trace)) {
+    text += Trace::describe(event);
+    text += '\n';
+  }
+  return text;
+}
+
+std::vector<LaunchSpec> make_specs(const PathCollection& collection,
+                                   std::uint16_t bandwidth,
+                                   std::uint32_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto ranks = rng.permutation(collection.size());
+  std::vector<LaunchSpec> specs(collection.size());
+  for (PathId id = 0; id < collection.size(); ++id) {
+    specs[id].path = id;
+    specs[id].start_time = static_cast<SimTime>(rng.next_below(6));
+    specs[id].wavelength = static_cast<Wavelength>(rng.next_below(bandwidth));
+    specs[id].priority = ranks[id];
+    specs[id].length = length;
+  }
+  return specs;
+}
+
+/// Runs sequential-vs-sharded on `collection` and checks the §7 contract:
+/// identical worm outcomes, metrics JSON, and canonical trace in every
+/// mode; the full PassResult (instrumentation included) invariant across
+/// pool widths {1, 2, 8}.
+void expect_sharding_invariant(const PathCollection& collection,
+                               SimConfig config,
+                               std::span<const LaunchSpec> specs) {
+  config.record_trace = true;
+  config.pool = nullptr;
+
+  SimConfig sequential_config = config;
+  sequential_config.sharding = PassSharding::Off;
+  Simulator sequential(collection, sequential_config);
+  const PassResult base = sequential.run(specs);
+  const std::string base_metrics = model_metrics_json(base.metrics);
+  const std::string base_trace = canonical_trace_text(base.trace);
+
+  std::vector<PassMetrics> sharded_instrumentation;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    SimConfig sharded_config = config;
+    sharded_config.sharding = PassSharding::On;
+    sharded_config.pool = &pool;
+    Simulator sharded(collection, sharded_config);
+    const PassResult result = sharded.run(specs);
+
+    EXPECT_EQ(model_metrics_json(result.metrics), base_metrics)
+        << "metrics JSON diverged at " << workers << " workers";
+    EXPECT_EQ(canonical_trace_text(result.trace), base_trace)
+        << "canonical trace diverged at " << workers << " workers";
+    ASSERT_EQ(result.worms.size(), base.worms.size());
+    for (WormId id = 0; id < base.worms.size(); ++id) {
+      EXPECT_EQ(result.worms[id].status, base.worms[id].status);
+      EXPECT_EQ(result.worms[id].truncated, base.worms[id].truncated);
+      EXPECT_EQ(result.worms[id].corrupted, base.worms[id].corrupted);
+      EXPECT_EQ(result.worms[id].fault_loss, base.worms[id].fault_loss);
+      EXPECT_EQ(result.worms[id].finish_time, base.worms[id].finish_time);
+      EXPECT_EQ(result.worms[id].blocked_at_link,
+                base.worms[id].blocked_at_link);
+      EXPECT_EQ(result.worms[id].blocked_by, base.worms[id].blocked_by);
+    }
+    sharded_instrumentation.push_back(result.metrics);
+  }
+  // Instrumentation counters are engine-local (they differ from the
+  // sequential engine's) but must still be deterministic in the sharded
+  // mode itself: bucketing is pool-width independent.
+  for (std::size_t i = 1; i < sharded_instrumentation.size(); ++i) {
+    EXPECT_EQ(sharded_instrumentation[i].steps,
+              sharded_instrumentation[0].steps);
+    EXPECT_EQ(sharded_instrumentation[i].registry_probes,
+              sharded_instrumentation[0].registry_probes);
+    EXPECT_EQ(sharded_instrumentation[i].registry_hits,
+              sharded_instrumentation[0].registry_hits);
+    EXPECT_EQ(sharded_instrumentation[i].peak_inflight,
+              sharded_instrumentation[0].peak_inflight);
+  }
+}
+
+TEST(ShardedSimulator, LeveledStaircasesAcrossPoolWidths) {
+  const PathCollection collection = make_staircase_collection(8, 4, 12, 5);
+  ASSERT_TRUE(is_leveled(collection));
+  ASSERT_GE(collection.components().count, 8u);
+  SimConfig config;
+  config.bandwidth = 2;
+  const auto specs = make_specs(collection, config.bandwidth, 5, 11);
+  expect_sharding_invariant(collection, config, specs);
+}
+
+TEST(ShardedSimulator, ShortcutFreeBundlesPriorityRule) {
+  const PathCollection collection = make_bundle_collection(8, 5, 6);
+  ASSERT_TRUE(is_shortcut_free(collection));
+  ASSERT_GE(collection.components().count, 8u);
+  SimConfig config;
+  config.rule = ContentionRule::Priority;
+  config.tie = TiePolicy::FirstWins;
+  config.bandwidth = 2;
+  const auto specs = make_specs(collection, config.bandwidth, 4, 23);
+  expect_sharding_invariant(collection, config, specs);
+}
+
+TEST(ShardedSimulator, FaultPlanKeyedByGlobalWormIds) {
+  // Fault streams hash *global* worm ids; a shard querying with local ids
+  // would silently reshuffle corruption across components.
+  const PathCollection collection = make_staircase_collection(8, 4, 12, 5);
+  FaultConfig fault_config;
+  fault_config.link_outage_rate = 0.15;
+  fault_config.stuck_wavelength_rate = 0.1;
+  fault_config.corruption_rate = 0.2;
+  fault_config.outage_period = 8;
+  fault_config.outage_duration = 3;
+  const FaultPlan plan(fault_config, /*base_seed=*/77);
+  SimConfig config;
+  config.bandwidth = 2;
+  config.faults = &plan;
+  const auto specs = make_specs(collection, config.bandwidth, 5, 31);
+  expect_sharding_invariant(collection, config, specs);
+}
+
+TEST(ShardedSimulator, FullConversionWorkload) {
+  const PathCollection collection = make_bundle_collection(9, 4, 5);
+  SimConfig config;
+  config.bandwidth = 3;
+  config.conversion = ConversionMode::Full;
+  const auto specs = make_specs(collection, config.bandwidth, 3, 41);
+  expect_sharding_invariant(collection, config, specs);
+}
+
+TEST(ShardedSimulator, SingleComponentFallsBackExactly) {
+  // One bundle = one component: run_sharded must fall back to the
+  // sequential pass, making even the instrumentation counters identical.
+  const PathCollection collection = make_bundle_collection(1, 6, 7);
+  ASSERT_EQ(collection.components().count, 1u);
+  SimConfig config;
+  config.record_trace = true;
+  config.sharding = PassSharding::Off;
+  Simulator sequential(collection, config);
+  const auto specs = make_specs(collection, config.bandwidth, 4, 53);
+  const PassResult base = sequential.run(specs);
+
+  ThreadPool pool(4);
+  config.sharding = PassSharding::On;
+  config.pool = &pool;
+  Simulator sharded(collection, config);
+  const PassResult result = sharded.run(specs);
+  EXPECT_EQ(model_metrics_json(result.metrics),
+            model_metrics_json(base.metrics));
+  EXPECT_EQ(result.metrics.steps, base.metrics.steps);
+  EXPECT_EQ(result.metrics.registry_probes, base.metrics.registry_probes);
+  EXPECT_EQ(result.metrics.registry_hits, base.metrics.registry_hits);
+  EXPECT_EQ(result.metrics.peak_inflight, base.metrics.peak_inflight);
+  EXPECT_EQ(canonical_trace_text(result.trace),
+            canonical_trace_text(base.trace));
+}
+
+TEST(ShardedSimulator, ProtocolResultsInvariant) {
+  // The protocol only consumes model-level pass output, so a full
+  // Trial-and-Failure run must be identical with sharding forced on.
+  const PathCollection collection = make_staircase_collection(8, 4, 12, 5);
+  ProtocolConfig config;
+  config.bandwidth = 2;
+  config.worm_length = 5;
+  config.max_rounds = 64;
+  config.faults.link_outage_rate = 0.1;
+  config.faults.outage_period = 8;
+  config.faults.outage_duration = 2;
+
+  config.sharding = PassSharding::Off;
+  FixedSchedule off_schedule(8);
+  TrialAndFailure off(collection, config, off_schedule);
+  const ProtocolResult base = off.run(/*seed=*/9);
+
+  config.sharding = PassSharding::On;
+  FixedSchedule on_schedule(8);
+  TrialAndFailure on(collection, config, on_schedule);
+  const ProtocolResult result = on.run(/*seed=*/9);
+
+  EXPECT_EQ(result.success, base.success);
+  EXPECT_EQ(result.rounds_used, base.rounds_used);
+  EXPECT_EQ(result.total_charged_time, base.total_charged_time);
+  EXPECT_EQ(result.total_actual_time, base.total_actual_time);
+  EXPECT_EQ(result.duplicate_deliveries, base.duplicate_deliveries);
+  EXPECT_EQ(result.completion_round, base.completion_round);
+  ASSERT_EQ(result.rounds.size(), base.rounds.size());
+  for (std::size_t r = 0; r < base.rounds.size(); ++r) {
+    EXPECT_EQ(result.rounds[r].delta, base.rounds[r].delta);
+    EXPECT_EQ(result.rounds[r].delivered, base.rounds[r].delivered);
+    EXPECT_EQ(result.rounds[r].acknowledged, base.rounds[r].acknowledged);
+    EXPECT_EQ(result.rounds[r].fault_losses, base.rounds[r].fault_losses);
+    EXPECT_EQ(result.rounds[r].contention_losses,
+              base.rounds[r].contention_losses);
+    EXPECT_EQ(model_metrics_json(result.rounds[r].forward),
+              model_metrics_json(base.rounds[r].forward));
+  }
+}
+
+}  // namespace
+}  // namespace opto
