@@ -51,21 +51,25 @@ int main() {
       const auto converted =
           simulate_dynamic_traffic(network.graph, config, 17);
 
-      table.row()
-          .cell(load)
+      // Conversion gain is a ratio: with zero converted blocking it is
+      // unbounded ("inf" when plain still blocks) or undefined ("n/a"
+      // when neither arm blocks) — printing 0.0 would read as a
+      // conversion *loss*.
+      auto row = table.row();
+      row.cell(load)
           .cell(plain.blocking_probability)
-          .cell(converted.blocking_probability)
-          .cell(converted.blocking_probability > 0
-                    ? plain.blocking_probability /
-                          converted.blocking_probability
-                    : 0.0)
-          .cell(plain.utilization)
-          .cell(plain.mean_route_length);
+          .cell(converted.blocking_probability);
+      if (converted.blocking_probability > 0)
+        row.cell(plain.blocking_probability / converted.blocking_probability);
+      else
+        row.cell(plain.blocking_probability > 0 ? "inf" : "n/a");
+      row.cell(plain.utilization).cell(plain.mean_route_length);
     }
     print_experiment_table(table);
   }
   std::cout << "Expected shape: blocking monotone in load; conversion gain"
-               " > 1 everywhere and\nlarger on the ring (longer routes make"
-               " wavelength continuity harder to satisfy).\n";
+               " > 1 (or inf/n-a on\nzero-blocking rows, where the ratio is"
+               " unbounded or undefined) and larger on the\nring (longer"
+               " routes make wavelength continuity harder to satisfy).\n";
   return 0;
 }

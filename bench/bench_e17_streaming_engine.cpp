@@ -1,0 +1,116 @@
+// E17 — streaming traffic engine: open arrivals over rolling
+// Trial-and-Failure batches (DESIGN.md §8).
+//
+// E14 models dynamic traffic with an oracle admission check; here every
+// request pays the full distributed setup instead: it joins the next
+// protocol round, contends for wavelengths, retries after losses, and
+// holds capacity only once its worm round-trips. Reproduced shape:
+//   * measured blocking on a single link matches Erlang B (M/M/B/B) —
+//     the engine's loss-call-cleared admission is calibrated against
+//     closed-form teletraffic theory,
+//   * blocking grows with offered load; wavelength conversion lowers it
+//     (the open-workload counterpart of E9/E14),
+//   * setup-latency quantiles (in rounds) grow with load as contention
+//     forces retries.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "opto/engine/engine.hpp"
+#include "opto/graph/ring.hpp"
+#include "opto/util/table.hpp"
+
+namespace {
+
+/// Erlang-B loss probability via the stable recurrence
+/// E_k = rho·E_{k-1} / (k + rho·E_{k-1}).
+double erlang_b(double rho, int b) {
+  double e = 1.0;
+  for (int k = 1; k <= b; ++k) e = rho * e / (k + rho * e);
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  using namespace opto;
+  using namespace opto::bench;
+
+  print_experiment_banner(
+      "E17: streaming traffic engine (open arrivals, rolling batches)",
+      "Erlang-B cross-check; blocking vs load with and without conversion");
+
+  {
+    // Two nodes, one fiber: each direction is an independent M/M/B/B
+    // system at half the total arrival rate.
+    auto graph = std::make_shared<Graph>(2, "single-link");
+    graph->add_edge(0, 1);
+
+    Table table("single link, Erlang-B cross-check, B=8");
+    table.set_header({"offered rho", "measured", "Erlang B", "rel err"});
+    for (const double rho : {2.0, 4.0, 6.0}) {
+      EngineConfig config;
+      config.protocol.bandwidth = 8;
+      config.traffic.process = ArrivalProcess::Poisson;
+      config.traffic.rate = 2.0 * rho;
+      config.mean_holding_time = 1.0;
+      config.round_interval = 0.01;  // decision delay << holding time
+      config.arrivals = scaled_trials(200000);
+      config.warmup = config.arrivals / 10;
+
+      Engine engine(graph, config, 42);
+      const auto result = engine.run();
+      const double analytic = erlang_b(rho, 8);
+      auto row = table.row();
+      row.cell(rho)
+          .cell(result.blocking_probability)
+          .cell(analytic)
+          .cell(std::fabs(result.blocking_probability - analytic) / analytic);
+    }
+    print_experiment_table(table);
+  }
+
+  {
+    auto ring = std::make_shared<Graph>(make_ring(8));
+    Table table("ring-8, B=4, Poisson arrivals");
+    table.set_header({"rate", "blocking (no conv)", "blocking (conv)",
+                      "p50 rounds", "p99 rounds", "peak active"});
+    for (const double rate : {8.0, 16.0, 32.0, 64.0}) {
+      EngineConfig config;
+      config.protocol.bandwidth = 4;
+      config.traffic.rate = rate;
+      config.round_interval = 0.02;
+      config.arrivals = scaled_trials(60000);
+      config.warmup = config.arrivals / 10;
+      // One representative operating point publishes its gauges into the
+      // BenchRecord (set_metric is last-write-wins, so exactly one row
+      // records).
+      config.record = rate == 32.0;
+
+      Engine plain(ring, config, 99);
+      const auto base = plain.run();
+
+      EngineConfig converting = config;
+      converting.record = false;
+      converting.protocol.conversion = ConversionMode::Full;
+      Engine conv(ring, converting, 99);
+      const auto with = conv.run();
+
+      auto row = table.row();
+      row.cell(rate)
+          .cell(base.blocking_probability)
+          .cell(with.blocking_probability)
+          .cell(base.p50_setup_rounds)
+          .cell(base.p99_setup_rounds)
+          .cell(base.peak_active);
+    }
+    print_experiment_table(table);
+  }
+
+  std::cout << "Expected shape: single-link blocking within a few percent of"
+               " Erlang B;\nblocking monotone in load; conversion lowers"
+               " blocking at light-to-moderate\nload (deep saturation blocks"
+               " either way); setup-round quantiles grow with\nload.\n";
+  return 0;
+}

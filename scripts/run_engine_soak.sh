@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Streaming-engine soak wrapper for nightly CI and local runs:
+#
+#   scripts/run_engine_soak.sh [--arrivals N] [--rss-limit-mb M]
+#                              [--build-dir DIR]
+#
+#   --arrivals N      arrivals per load point (default 100000; the
+#                     engine is O(active connections) in memory, so
+#                     millions only cost time)
+#   --rss-limit-mb M  VmHWM ceiling passed to the soak tool
+#                     (default 512)
+#   --build-dir DIR   where the binaries live (default: build)
+#
+# The checks themselves (accounting closure, blocking monotone in load,
+# connection table bounded by active circuits, RSS under the limit) live
+# in tools/engine_soak.cpp; a failed check exits non-zero and fails the
+# job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ARRIVALS=100000
+RSS_LIMIT=512
+BUILD=build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --arrivals)     ARRIVALS="$2"; shift 2 ;;
+    --rss-limit-mb) RSS_LIMIT="$2"; shift 2 ;;
+    --build-dir)    BUILD="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -x "$BUILD/tools/engine_soak" ]; then
+  echo "$BUILD/tools/engine_soak not found — build the project first" >&2
+  exit 1
+fi
+
+exec "$BUILD/tools/engine_soak" --arrivals "$ARRIVALS" \
+  --rss-limit-mb "$RSS_LIMIT" --rates 8,32,128

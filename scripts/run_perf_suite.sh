@@ -48,13 +48,15 @@ export OPTO_RESULTS_DIR="$RECORDS"
 export REPRO_SCALE="$SCALE"
 
 # Representative slice of the suite: a mesh workload (e7), a butterfly
-# workload (e8), the fault-injection path (e15), the schedule ablation
-# (a1), and the engine micro-benchmarks. Broad enough to notice a
-# regression in any subsystem, small enough for a CI smoke job.
+# workload (e8), the fault-injection path (e15), the streaming traffic
+# engine (e17), the schedule ablation (a1), and the engine
+# micro-benchmarks. Broad enough to notice a regression in any
+# subsystem, small enough for a CI smoke job.
 BENCHES=(
   bench_e7_mesh
   bench_e8_butterfly_qfn
   bench_e15_fault_resilience
+  bench_e17_streaming_engine
   bench_a1_delta_schedule
 )
 

@@ -78,12 +78,22 @@ DynamicTrafficResult simulate_dynamic_traffic(
   struct Departure {
     double time;
     std::uint32_t connection;
-    bool operator>(const Departure& other) const { return time > other.time; }
+    // Strict weak order: break exact time ties on the connection id.
+    // Comparing `time` alone makes equal-time departures unordered (an
+    // invalid comparator for the heap) and their pop order arbitrary.
+    bool operator>(const Departure& other) const {
+      if (time != other.time) return time > other.time;
+      return connection > other.connection;
+    }
   };
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
       departures;
-  // Accepted connections' held slots (freed on departure).
+  // Accepted connections' held slots (freed on departure). Departed ids
+  // go on a free list and are recycled, so the table size tracks the
+  // number of *simultaneously* active connections instead of growing by
+  // one row per accepted arrival for the whole run.
   std::vector<std::vector<std::size_t>> held;
+  std::vector<std::uint32_t> free_ids;
 
   Rng rng(seed);
   const double arrival_rate = config.offered_load / config.mean_holding_time;
@@ -117,6 +127,7 @@ DynamicTrafficResult simulate_dynamic_traffic(
       }
       busy_count -= held[d.connection].size();
       held[d.connection].clear();
+      free_ids.push_back(d.connection);
     }
     advance_to(now);
     if (arrival == config.warmup) measure_start = now;
@@ -173,8 +184,18 @@ DynamicTrafficResult simulate_dynamic_traffic(
     }
     for (const std::size_t s : taken) busy[s] = 1;
     busy_count += taken.size();
-    const auto connection = static_cast<std::uint32_t>(held.size());
-    held.push_back(std::move(taken));
+    std::uint32_t connection;
+    if (!free_ids.empty()) {
+      connection = free_ids.back();
+      free_ids.pop_back();
+      held[connection] = std::move(taken);
+    } else {
+      connection = static_cast<std::uint32_t>(held.size());
+      held.push_back(std::move(taken));
+    }
+    result.peak_connections =
+        std::max(result.peak_connections,
+                 static_cast<std::uint64_t>(held.size()));
     departures.push({now + exponential(rng, config.mean_holding_time),
                      connection});
   }

@@ -34,6 +34,11 @@ struct DynamicTrafficResult {
   double mean_route_length = 0.0;
   /// Time-averaged fraction of busy (link, wavelength) slots.
   double utilization = 0.0;
+  /// High-water mark of the connection table. Ids are recycled through a
+  /// free list, so this is the peak number of simultaneously active
+  /// connections — NOT the total accepted — and bounds the simulation's
+  /// memory for arbitrarily long runs.
+  std::uint64_t peak_connections = 0;
 };
 
 /// Runs the event-driven simulation on `graph` (must be connected).

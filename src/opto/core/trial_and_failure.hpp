@@ -16,7 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "opto/core/priority_assign.hpp"
@@ -110,6 +113,142 @@ struct ProtocolResult {
   std::vector<RoundReport> rounds;
   /// Round in which each worm was acknowledged (0 = never).
   std::vector<std::uint32_t> completion_round;
+};
+
+/// One live Trial-and-Failure batch, driven round by round by an external
+/// event loop. This is the re-entrant core of the protocol: members
+/// (path + caller tag) are admitted at any time between rounds, step()
+/// executes exactly one round (launch → forward pass → acks → retirement),
+/// and acknowledged members surface through completed(). The batch-mode
+/// TrialAndFailure::run() below is a thin driver over this class and
+/// remains bit-identical to the pre-session implementation; the streaming
+/// engine (opto/engine) drives the same session with open arrivals,
+/// rolling admissions, held channels (set_pinned), and a first-fit
+/// wavelength chooser.
+///
+/// Determinism: round t draws everything from Rng::stream(seed, t), so a
+/// session's trajectory is a pure function of (seed, admission sequence,
+/// chooser decisions, pinned sets) — independent of wall clock and thread
+/// count.
+class ProtocolSession {
+ public:
+  /// Per-round wavelength choice override. Called once per member per
+  /// round (in member order) instead of the protocol's uniform draw;
+  /// returning nullopt skips the member's launch this round — it still
+  /// ages (attempts grow) and retries next round. Without a chooser the
+  /// session draws uniformly from [B], consuming the RNG stream exactly
+  /// as the batch protocol always has.
+  using WavelengthChooser =
+      std::function<std::optional<Wavelength>(PathId, std::uint64_t tag)>;
+
+  /// An acknowledged (or expired) member. `history_begin/end` index into
+  /// wavelength_history() — the wavelength the worm held on each link it
+  /// entered; empty without conversion, where `wavelength` holds on every
+  /// link of the path.
+  struct Completion {
+    std::uint64_t tag = 0;
+    PathId path = kInvalidPath;
+    std::uint32_t attempts = 0;  ///< rounds participated, this one included
+    Wavelength wavelength = 0;   ///< launch wavelength
+    std::uint32_t history_begin = 0;
+    std::uint32_t history_end = 0;
+  };
+
+  /// Collection and schedule must outlive the session. `reverse` is an
+  /// optional pre-built reverse-path collection for Simulated acks (the
+  /// session builds its own when null and the config needs one).
+  ProtocolSession(const PathCollection& collection, ProtocolConfig config,
+                  DeltaSchedule& schedule, std::uint64_t seed,
+                  const PathCollection* reverse = nullptr);
+
+  /// Adds a member to the next round's batch. `tag` is opaque caller
+  /// context (the batch driver uses the path id; the engine a connection
+  /// id). Members launch in admission order. With the priority rule and
+  /// a by-path strategy, admitting one path twice would duplicate ranks —
+  /// use RandomPermutation for multi-connection workloads.
+  void admit(PathId path, std::uint64_t tag);
+
+  void set_wavelength_chooser(WavelengthChooser chooser) {
+    chooser_ = std::move(chooser);
+  }
+
+  /// Held channels for the forward passes (Simulator::set_pinned); the
+  /// span is re-read every round, so the caller may mutate the vector
+  /// between steps. Acks are modelled on a separate band and are not
+  /// blocked by pinned message channels.
+  void set_pinned(std::span<const PinnedSlot> pinned) {
+    forward_sim_.set_pinned(pinned);
+  }
+
+  /// Executes one protocol round over the current members. The returned
+  /// report (valid until the next step) uses the session's global round
+  /// number; completed() lists the members acknowledged by this round.
+  const RoundReport& step();
+
+  /// Members acknowledged by the latest step(), in member order.
+  const std::vector<Completion>& completed() const { return completed_; }
+
+  /// Flattened per-link wavelength histories behind completed()'s
+  /// history_begin/end; cleared by the next step().
+  std::span<const Wavelength> wavelength_history() const {
+    return {completed_history_.data(), completed_history_.size()};
+  }
+
+  /// Removes members whose attempts reached `max_attempts` and returns
+  /// them (valid until the next expire/remove_if). The batch driver never
+  /// expires; the engine uses this as a livelock safety net.
+  const std::vector<Completion>& expire(std::uint32_t max_attempts);
+
+  /// Predicate-driven removal: members with `pred(tag, attempts)` true
+  /// are removed (order-preserving compaction) and returned, valid until
+  /// the next expire/remove_if. The engine's loss-call-cleared admission
+  /// drops requests that found every wavelength busy at decision time.
+  using RemovePredicate =
+      std::function<bool(std::uint64_t tag, std::uint32_t attempts)>;
+  const std::vector<Completion>& remove_if(const RemovePredicate& pred);
+
+  std::size_t active_count() const { return active_.size(); }
+  std::uint32_t rounds_run() const { return round_; }
+  std::uint64_t duplicate_deliveries() const { return duplicates_; }
+
+ private:
+  const PathCollection& collection_;
+  ProtocolConfig config_;
+  DeltaSchedule& schedule_;
+  std::uint64_t seed_;
+  std::uint32_t dilation_;
+  FaultPlan fault_plan_;
+  bool faults_on_ = false;
+  double backoff_ = 1.0;
+  std::uint32_t round_ = 0;
+  std::uint64_t duplicates_ = 0;
+  WavelengthChooser chooser_;
+
+  std::unique_ptr<PathCollection> owned_reverse_;  ///< iff built here
+  Simulator forward_sim_;
+  std::optional<Simulator> ack_sim_;
+
+  // Members, parallel vectors compacted in order on retirement/expiry.
+  std::vector<PathId> active_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint32_t> attempts_;
+
+  // Per-round state, hoisted so a steady-state round allocates nothing.
+  RoundReport report_;
+  PassResult forward_;
+  PassResult ack_pass_;
+  std::vector<LaunchSpec> specs_;
+  std::vector<std::uint32_t> launcher_;     ///< spec index → member index
+  std::vector<std::uint32_t> member_spec_;  ///< member index → spec or none
+  std::vector<char> acked_;
+  std::vector<LaunchSpec> ack_specs_;
+  std::vector<std::size_t> ack_owner_;  ///< ack spec → member index
+  std::vector<PathId> still_active_;
+  std::vector<std::uint64_t> still_tags_;
+  std::vector<std::uint32_t> still_attempts_;
+  std::vector<Completion> completed_;
+  std::vector<Wavelength> completed_history_;
+  std::vector<Completion> expired_;
 };
 
 class TrialAndFailure {

@@ -1,0 +1,93 @@
+#include "opto/engine/traffic.hpp"
+
+#include <cmath>
+
+#include "opto/util/assert.hpp"
+
+namespace opto {
+
+namespace {
+
+double exponential(Rng& rng, double mean) {
+  // Inverse CDF; 1 − U in (0, 1].
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+}  // namespace
+
+const char* to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::Poisson: return "poisson";
+    case ArrivalProcess::Mmpp: return "mmpp";
+    case ArrivalProcess::Trace: return "trace";
+  }
+  return "?";
+}
+
+double mean_arrival_rate(const TrafficConfig& config) {
+  switch (config.process) {
+    case ArrivalProcess::Poisson:
+      return config.rate;
+    case ArrivalProcess::Mmpp:
+      // Equal mean dwells → the chain spends half its time in each state.
+      return config.rate * (config.mmpp_burst + config.mmpp_calm) / 2.0;
+    case ArrivalProcess::Trace: {
+      double total = 0.0;
+      for (const double gap : config.trace) total += gap;
+      return total > 0.0
+                 ? static_cast<double>(config.trace.size()) / total
+                 : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+ArrivalGenerator::ArrivalGenerator(const TrafficConfig& config,
+                                   std::uint64_t seed)
+    : config_(config), rng_(Rng::stream(seed, 0x7261FF1Cull)) {
+  if (config_.process == ArrivalProcess::Trace) {
+    OPTO_ASSERT_MSG(!config_.trace.empty(), "trace process needs gaps");
+    for (const double gap : config_.trace)
+      OPTO_ASSERT_MSG(gap > 0.0, "trace gaps must be > 0");
+  } else {
+    OPTO_ASSERT(config_.rate > 0.0);
+  }
+  if (config_.process == ArrivalProcess::Mmpp) {
+    OPTO_ASSERT(config_.mmpp_burst > 0.0 && config_.mmpp_calm > 0.0 &&
+                config_.mmpp_mean_dwell > 0.0);
+    dwell_left_ = exponential(rng_, config_.mmpp_mean_dwell);
+  }
+}
+
+double ArrivalGenerator::next_gap() {
+  switch (config_.process) {
+    case ArrivalProcess::Poisson:
+      return exponential(rng_, 1.0 / config_.rate);
+    case ArrivalProcess::Trace: {
+      const double gap = config_.trace[trace_index_];
+      trace_index_ = (trace_index_ + 1) % config_.trace.size();
+      return gap;
+    }
+    case ArrivalProcess::Mmpp: {
+      // Memorylessness lets the candidate gap be redrawn from scratch in
+      // the new state at each flip; only the elapsed dwell carries over.
+      double gap = 0.0;
+      while (true) {
+        const double rate =
+            config_.rate * (burst_ ? config_.mmpp_burst : config_.mmpp_calm);
+        const double candidate = exponential(rng_, 1.0 / rate);
+        if (candidate <= dwell_left_) {
+          dwell_left_ -= candidate;
+          return gap + candidate;
+        }
+        gap += dwell_left_;
+        burst_ = !burst_;
+        dwell_left_ = exponential(rng_, config_.mmpp_mean_dwell);
+      }
+    }
+  }
+  OPTO_ASSERT_MSG(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace opto

@@ -1,0 +1,63 @@
+// Arrival-time processes for the streaming engine: when does the next
+// connection request reach the network?
+//
+// Three generators, all on the deterministic Rng stream facade so an
+// engine run is a pure function of its seed:
+//   * Poisson    — memoryless arrivals at a constant rate (the classic
+//                  teletraffic model; Erlang-B applies on one link).
+//   * Mmpp       — a 2-state Markov-modulated Poisson process: the rate
+//                  switches between a calm and a burst multiplier with
+//                  exponentially distributed dwell times. Models the
+//                  bursty sources of the light-trail / optical-router
+//                  queueing literature (PAPERS.md).
+//   * Trace      — replays a caller-supplied inter-arrival sequence
+//                  cyclically (measured traffic, adversarial patterns).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opto/rng/rng.hpp"
+
+namespace opto {
+
+enum class ArrivalProcess : std::uint8_t { Poisson, Mmpp, Trace };
+
+const char* to_string(ArrivalProcess process);
+
+struct TrafficConfig {
+  ArrivalProcess process = ArrivalProcess::Poisson;
+  /// Base arrival rate λ (requests per unit traffic time). For Mmpp the
+  /// instantaneous rate is λ·mmpp_burst or λ·mmpp_calm; with equal mean
+  /// dwells the long-run rate is λ·(mmpp_burst + mmpp_calm)/2. Ignored
+  /// by Trace.
+  double rate = 1.0;
+  double mmpp_burst = 4.0;       ///< burst-state rate multiplier
+  double mmpp_calm = 0.25;       ///< calm-state rate multiplier
+  double mmpp_mean_dwell = 16.0; ///< mean time in each state
+  /// Inter-arrival times (strictly positive), replayed cyclically.
+  std::vector<double> trace;
+};
+
+/// Long-run mean arrival rate of the configured process (trace mean for
+/// Trace). Used to convert a target offered load into a rate and back.
+double mean_arrival_rate(const TrafficConfig& config);
+
+/// Stateful generator of inter-arrival gaps. Deterministic in
+/// (config, seed); one instance drives one engine run.
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(const TrafficConfig& config, std::uint64_t seed);
+
+  /// Time from the previous arrival to the next one (> 0).
+  double next_gap();
+
+ private:
+  TrafficConfig config_;
+  Rng rng_;
+  bool burst_ = false;       ///< Mmpp state
+  double dwell_left_ = 0.0;  ///< Mmpp time until the next state flip
+  std::size_t trace_index_ = 0;
+};
+
+}  // namespace opto

@@ -149,6 +149,13 @@ void write_bench_record(std::ostream& os, const std::string& label) {
     w.value(static_cast<double>(alloc_count()) /
             static_cast<double>(passes));
   }
+  // Gauges (obs::set_metric) land beside the derived metrics, in name
+  // order. The engine's blocking probability and latency quantiles
+  // arrive this way.
+  for (const auto& metric : metrics()) {
+    w.key(metric.name);
+    w.value(metric.value);
+  }
   w.end_object();
 
   w.end_object();

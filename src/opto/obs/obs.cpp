@@ -25,6 +25,7 @@ struct Registry {
   std::map<std::string, detail::CounterSlot, std::less<>> counters;
   std::map<std::string, detail::PhaseSlot, std::less<>> phases;
   std::map<std::string, std::string> annotations;
+  std::map<std::string, double> metrics;
   std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
 };
@@ -100,6 +101,22 @@ void annotate(std::string_view key, std::string_view value) {
   r.annotations[std::string(key)] = std::string(value);
 }
 
+void set_metric(std::string_view name, double value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.metrics[std::string(name)] = value;
+}
+
+std::vector<MetricSnapshot> metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<MetricSnapshot> out;
+  out.reserve(r.metrics.size());
+  for (const auto& [name, value] : r.metrics) out.push_back({name, value});
+  return out;
+}
+
 std::vector<CounterSnapshot> counters() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
@@ -143,6 +160,7 @@ void reset() {
     slot.cpu_ns.store(0, std::memory_order_relaxed);
   }
   r.annotations.clear();
+  r.metrics.clear();
   g_allocs.store(0, std::memory_order_relaxed);
 }
 

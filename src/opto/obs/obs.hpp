@@ -122,6 +122,24 @@ class ScopedTimer {
 /// bench label, schedule name…
 void annotate(std::string_view key, std::string_view value);
 
+/// Named numeric gauge (last write per name wins). Unlike a Counter this
+/// carries a computed value — a blocking probability, a latency quantile,
+/// a sustained rate — and lands in the BenchRecord "metrics" object next
+/// to the derived metrics, where the CI regression gate and
+/// `bench_compare` read it. Name discipline follows compare.cpp's
+/// normalization rules: deterministic model gauges get plain names;
+/// wall-clock-dependent gauges must end in `_per_s` or contain `wall_ns`
+/// so `--normalize` strips them.
+void set_metric(std::string_view name, double value);
+
+struct MetricSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Gauges set since the last reset(), sorted by name.
+std::vector<MetricSnapshot> metrics();
+
 struct CounterSnapshot {
   std::string name;
   std::uint64_t value = 0;

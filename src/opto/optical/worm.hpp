@@ -16,6 +16,11 @@ namespace opto {
 
 using WormId = std::uint32_t;
 inline constexpr WormId kInvalidWorm = ~WormId{0};
+/// Sentinel occupant for a pinned (held) wavelength slot — an established
+/// connection of the streaming engine holding the channel between passes.
+/// Distinct from kInvalidWorm (the stuck-wavelength fault sentinel) so a
+/// loss against a held channel is accounted as pinned, not as a fault.
+inline constexpr WormId kPinnedWorm = kInvalidWorm - 1;
 
 using Wavelength = std::uint16_t;
 using SimTime = std::int64_t;
@@ -39,6 +44,7 @@ struct Worm {
   bool truncated = false;           ///< lost flits to a priority collision
   bool corrupted = false;           ///< payload corrupted by an injected fault
   bool fault_killed = false;        ///< eliminated by a fault, not contention
+  bool pinned_killed = false;       ///< eliminated by a held (pinned) channel
   std::uint32_t blocked_at_link = 0;  ///< path position of the fatal block
   SimTime finish_time = -1;         ///< delivery/kill completion time
 

@@ -13,6 +13,7 @@ void PassMetrics::merge(const PassMetrics& other) {
   contentions += other.contentions;
   retunes += other.retunes;
   fault_kills += other.fault_kills;
+  pinned_blocks += other.pinned_blocks;
   corrupted += other.corrupted;
   corrupted_arrivals += other.corrupted_arrivals;
   makespan = std::max(makespan, other.makespan);

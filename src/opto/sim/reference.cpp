@@ -24,6 +24,7 @@ struct RefWorm {
   std::uint32_t kill_index = 0;
   SimTime kill_time = -1;
   WormId blocker = kInvalidWorm;
+  bool pinned = false;  ///< eliminated by a held (pinned) channel
   bool truncated = false;
   /// Priority cuts: (link index, time); flits crossing that coupler at or
   /// after the time are discarded.
@@ -45,11 +46,33 @@ std::uint32_t stream_length(const RefWorm& worm, std::uint32_t pos) {
 
 PassResult reference_run(const PathCollection& collection,
                          const SimConfig& config,
-                         std::span<const LaunchSpec> specs) {
+                         std::span<const LaunchSpec> specs,
+                         std::span<const PinnedSlot> pinned) {
   PassResult result;
   result.trace = Trace(false);
   const auto count = static_cast<WormId>(specs.size());
   result.worms.resize(count);
+
+  // Held channels as a dense (link, wavelength) bitmap — the reference
+  // counterpart of the fast engine's permanent sentinel claims.
+  std::vector<char> pinned_map;
+  if (!pinned.empty()) {
+    pinned_map.assign(
+        static_cast<std::size_t>(collection.graph().link_count()) *
+            config.bandwidth,
+        0);
+    for (const PinnedSlot& slot : pinned) {
+      OPTO_ASSERT(slot.link < collection.graph().link_count());
+      OPTO_ASSERT(slot.wavelength < config.bandwidth);
+      pinned_map[static_cast<std::size_t>(slot.link) * config.bandwidth +
+                 slot.wavelength] = 1;
+    }
+  }
+  const auto pinned_at = [&](EdgeId link, Wavelength wavelength) {
+    return !pinned_map.empty() &&
+           pinned_map[static_cast<std::size_t>(link) * config.bandwidth +
+                      wavelength] != 0;
+  };
 
   const auto converts_at = [&config](NodeId node) {
     switch (config.conversion) {
@@ -129,6 +152,16 @@ PassResult reference_run(const PathCollection& collection,
     ++result.metrics.killed;
   };
 
+  const auto pinned_kill = [&](WormId id) {
+    RefWorm& worm = worms[id];
+    worm.killed = true;
+    worm.pinned = true;
+    worm.kill_index = worm.entered;
+    worm.kill_time = now;
+    worm.blocker = kInvalidWorm;
+    ++result.metrics.pinned_blocks;
+  };
+
   const auto cut = [&](WormId victim, std::uint32_t pos) {
     RefWorm& worm = worms[victim];
     worm.cuts.emplace_back(pos, now);
@@ -167,6 +200,12 @@ PassResult reference_run(const PathCollection& collection,
 
   const auto resolve_fixed = [&](EdgeId link, Wavelength wavelength,
                                  std::span<const Attempt> group) {
+    // A pinned channel eliminates every entrant before any contention
+    // bookkeeping — mirrors the fast engine's sentinel-claim short-circuit.
+    if (pinned_at(link, wavelength)) {
+      for (const Attempt& attempt : group) pinned_kill(attempt.worm);
+      return;
+    }
     contenders.clear();
     for (const Attempt& attempt : group)
       contenders.push_back(
@@ -222,7 +261,8 @@ PassResult reference_run(const PathCollection& collection,
     }
 
     const auto is_free = [&](Wavelength w) {
-      return !occupant[w].has_value() && admitted[w] == kInvalidWorm;
+      return !occupant[w].has_value() && admitted[w] == kInvalidWorm &&
+             !pinned_at(link, w);
     };
     const auto lowest_free = [&]() -> std::int32_t {
       for (Wavelength w = 0; w < bandwidth; ++w)
@@ -266,6 +306,11 @@ PassResult reference_run(const PathCollection& collection,
             continue;
           }
         }
+      }
+      if (!occupant[preferred].has_value() &&
+          admitted[preferred] == kInvalidWorm && pinned_at(link, preferred)) {
+        pinned_kill(id);
+        continue;
       }
       const WormId blocker = occupant[preferred].has_value()
                                  ? occupant[preferred]->first
@@ -368,6 +413,7 @@ PassResult reference_run(const PathCollection& collection,
       outcome.finish_time = worm.finish;
     }
     outcome.truncated = worm.truncated;
+    outcome.pinned_loss = worm.pinned;
     result.metrics.makespan =
         std::max(result.metrics.makespan, outcome.finish_time);
   }

@@ -23,8 +23,11 @@ namespace opto {
 
 /// Runs the reference engine; the result is field-for-field comparable
 /// with Simulator::run (statuses, finish times, blockers, metrics).
+/// `pinned` mirrors Simulator::set_pinned: held (link, wavelength)
+/// channels that eliminate every entrant as a pinned loss.
 PassResult reference_run(const PathCollection& collection,
                          const SimConfig& config,
-                         std::span<const LaunchSpec> specs);
+                         std::span<const LaunchSpec> specs,
+                         std::span<const PinnedSlot> pinned = {});
 
 }  // namespace opto

@@ -344,6 +344,7 @@ void Simulator::run_sharded(std::span<const LaunchSpec> specs,
       [this](std::size_t b) {
         Simulator& shard = *shards_[b];
         shard.config_.record_trace = config_.record_trace;
+        shard.pinned_ = pinned_;  // re-read per pass: the set is dynamic
         shard.shard_global_ids_ = {shard_ids_[b].data(), shard_ids_[b].size()};
         shard.run_pass({shard_specs_[b].data(), shard_specs_[b].size()},
                        shard_results_[b]);
@@ -366,6 +367,35 @@ void Simulator::run_sharded(std::span<const LaunchSpec> specs,
       if (outcome.blocked_by != kInvalidWorm)
         outcome.blocked_by = ids[outcome.blocked_by];
       result.worms[ids[j]] = outcome;
+    }
+  }
+  // Wavelength histories scatter back to global spec order (conversion
+  // passes only — shards leave the buffers empty otherwise).
+  result.wavelength_offsets.clear();
+  result.wavelengths.clear();
+  if (config_.conversion != ConversionMode::None) {
+    // First pass: per-worm history lengths; second: flatten in global id
+    // order so the output is independent of the bucket packing.
+    result.wavelength_offsets.assign(specs.size() + 1, 0);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const PassResult& shard = shard_results_[b];
+      for (std::size_t j = 0; j < shard_ids_[b].size(); ++j)
+        result.wavelength_offsets[shard_ids_[b][j] + 1] =
+            shard.wavelength_offsets[j + 1] - shard.wavelength_offsets[j];
+    }
+    for (std::size_t i = 1; i < result.wavelength_offsets.size(); ++i)
+      result.wavelength_offsets[i] += result.wavelength_offsets[i - 1];
+    result.wavelengths.resize(result.wavelength_offsets.back());
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const PassResult& shard = shard_results_[b];
+      for (std::size_t j = 0; j < shard_ids_[b].size(); ++j) {
+        const std::uint32_t begin = shard.wavelength_offsets[j];
+        const std::uint32_t end = shard.wavelength_offsets[j + 1];
+        std::copy(shard.wavelengths.begin() + begin,
+                  shard.wavelengths.begin() + end,
+                  result.wavelengths.begin() +
+                      result.wavelength_offsets[shard_ids_[b][j]]);
+      }
     }
   }
   if (config_.record_trace) {
@@ -422,6 +452,22 @@ void Simulator::run_pass(std::span<const LaunchSpec> specs,
     for (EdgeId link = 0; link < links; ++link)
       for (Wavelength w = 0; w < config_.bandwidth; ++w)
         if (plan->wavelength_stuck(link, w)) registry_.claim(link, w, stuck);
+  }
+  // Pinned slots (held channels of established connections) are seeded
+  // after the stuck-wavelength sentinels, so a pinned slot shadows a
+  // stuck fault on the same channel: the engine's holds are the primary
+  // occupant, and the attribution of entrant losses follows the claim.
+  if (!pinned_.empty()) {
+    Claim held;
+    held.worm = kPinnedWorm;
+    held.priority = std::numeric_limits<std::uint32_t>::max();
+    held.entry = 0;
+    held.release = std::numeric_limits<SimTime>::max();
+    for (const PinnedSlot& slot : pinned_) {
+      OPTO_DASSERT(slot.link < collection_.graph().link_count());
+      OPTO_DASSERT(slot.wavelength < config_.bandwidth);
+      registry_.claim(slot.link, slot.wavelength, held);
+    }
   }
   const bool convert = config_.conversion != ConversionMode::None;
   if (convert) {
@@ -549,6 +595,22 @@ void Simulator::run_pass(std::span<const LaunchSpec> specs,
         {t, TraceKind::FaultKill, id, link, worm.wavelength, kInvalidWorm});
   };
 
+  /// Elimination by a pinned slot: same drain mechanics as a serve-first
+  /// loss, witness-free like a fault kill, but accounted on its own — the
+  /// channel is busy, not broken, so the protocol should retry without
+  /// backing off.
+  const auto pinned_kill = [&](WormId id, EdgeId link, SimTime t) {
+    Worm& worm = worms_[id];
+    worm.status = WormStatus::Killed;
+    status_[id] = WormStatus::Killed;
+    worm.pinned_killed = true;
+    worm.blocked_at_link = worm.head_index;
+    worm.finish_time = t;
+    ++result.metrics.pinned_blocks;
+    result.trace.record(
+        {t, TraceKind::Kill, id, link, worm.wavelength, kInvalidWorm});
+  };
+
   /// Admits `id` onto `link` at wavelength `wl` (its head enters now).
   const auto admit = [&](WormId id, EdgeId link, Wavelength wl, bool retuned) {
     Worm& worm = worms_[id];
@@ -589,9 +651,14 @@ void Simulator::run_pass(std::span<const LaunchSpec> specs,
     const Claim* found = registry_.find(link, wl, now);
 
     // A stuck wavelength's sentinel claim blocks every entrant: a fault
-    // loss, not a contention event (there is no worm to blame).
+    // loss, not a contention event (there is no worm to blame). A pinned
+    // slot blocks the same way but is accounted as a busy held channel.
     if (found != nullptr && found->worm == kInvalidWorm) {
       for (const WormId entrant : group) fault_kill(entrant, link, now);
+      return;
+    }
+    if (found != nullptr && found->worm == kPinnedWorm) {
+      for (const WormId entrant : group) pinned_kill(entrant, link, now);
       return;
     }
 
@@ -719,12 +786,15 @@ void Simulator::run_pass(std::span<const LaunchSpec> specs,
       }
       // Eliminated: witness is whoever holds the preferred wavelength. A
       // stuck wavelength's sentinel (worm = kInvalidWorm) has no worm to
-      // blame — that elimination is a fault loss.
+      // blame — that elimination is a fault loss; a pinned slot's
+      // sentinel (kPinnedWorm) is a busy held channel.
       const WormId blocker = conv_occupant_[preferred].has_value()
                                  ? conv_occupant_[preferred]->worm
                                  : conv_admitted_[preferred];
       if (blocker == kInvalidWorm)
         fault_kill(id, link, now);
+      else if (blocker == kPinnedWorm)
+        pinned_kill(id, link, now);
       else
         finish_kill(id, now, blocker);
     }
@@ -911,10 +981,27 @@ void Simulator::run_pass(std::span<const LaunchSpec> specs,
     outcome.fault_loss =
         worm.fault_killed || (worm.status == WormStatus::Delivered &&
                               worm.corrupted && !worm.truncated);
+    outcome.pinned_loss = worm.pinned_killed;
     outcome.finish_time = worm.finish_time;
     outcome.blocked_at_link = worm.blocked_at_link;
     result.metrics.makespan =
         std::max(result.metrics.makespan, worm.finish_time);
+  }
+  // Flatten per-worm wavelength histories for the caller (the streaming
+  // engine pins delivered worms' channels from these). Conversion-free
+  // passes skip it: the launch wavelength holds on every link.
+  result.wavelength_offsets.clear();
+  result.wavelengths.clear();
+  if (convert) {
+    result.wavelength_offsets.reserve(count + 1);
+    result.wavelength_offsets.push_back(0);
+    for (WormId id = 0; id < count; ++id) {
+      result.wavelengths.insert(result.wavelengths.end(),
+                                wavelength_history_[id].begin(),
+                                wavelength_history_[id].end());
+      result.wavelength_offsets.push_back(
+          static_cast<std::uint32_t>(result.wavelengths.size()));
+    }
   }
   result.metrics.registry_probes = registry_.stats().probes;
   result.metrics.registry_hits = registry_.stats().hits;

@@ -78,6 +78,19 @@ struct SimConfig {
   ThreadPool* pool = nullptr;
 };
 
+/// A (directed link, wavelength) channel held by an established
+/// connection — the streaming engine's circuits between protocol passes.
+/// Pinned slots enter the occupancy registry as permanent sentinel
+/// occupants (worm = kPinnedWorm, top priority, never released): every
+/// entrant is eliminated, priority worms cannot truncate them, and
+/// converting routers retune around them. Losses are accounted in
+/// PassMetrics::pinned_blocks / WormOutcome::pinned_loss, separate from
+/// both contention kills and fault kills.
+struct PinnedSlot {
+  EdgeId link = kInvalidEdge;
+  Wavelength wavelength = 0;
+};
+
 /// Launch parameters for one worm (chosen by the protocol layer).
 struct LaunchSpec {
   PathId path = kInvalidPath;
@@ -95,6 +108,10 @@ struct WormOutcome {
   /// or delivered with a corrupted payload. Contention losses keep this
   /// false — the protocol's RetryPolicy backs off only on fault losses.
   bool fault_loss = false;
+  /// Eliminated by a pinned slot (a wavelength held by an established
+  /// connection). Witness-free like a fault kill, but nothing is broken —
+  /// the channel is merely busy, so retrying is the right response.
+  bool pinned_loss = false;
   SimTime finish_time = -1;           ///< delivery completion / kill step
   std::uint32_t blocked_at_link = 0;  ///< path position of a fatal block
   WormId blocked_by = kInvalidWorm;   ///< the witnessing blocker, if killed
@@ -110,6 +127,15 @@ struct PassResult {
   std::vector<WormOutcome> worms;  ///< parallel to the launch specs
   PassMetrics metrics;
   Trace trace;  ///< populated iff config.record_trace
+  /// Per-worm wavelength-per-entered-link histories, flattened; populated
+  /// only when conversion is enabled (without conversion the launch
+  /// wavelength holds on every link). Worm `id` used wavelengths
+  /// [wavelengths.begin() + wavelength_offsets[id],
+  ///  wavelengths.begin() + wavelength_offsets[id + 1]), one per link its
+  /// head entered. The streaming engine pins delivered worms' channels
+  /// from these.
+  std::vector<std::uint32_t> wavelength_offsets;
+  std::vector<Wavelength> wavelengths;
 };
 
 class Simulator {
@@ -128,6 +154,14 @@ class Simulator {
   void run(std::span<const LaunchSpec> specs, PassResult& result);
 
   const SimConfig& config() const { return config_; }
+
+  /// Installs the pinned-slot set consulted by subsequent run() calls
+  /// (sim-level substrate of the streaming engine's held connections).
+  /// The span must stay valid across those calls; it is re-read at the
+  /// top of every pass, so the caller may mutate the underlying vector
+  /// between passes. Duplicate slots are allowed (later wins); a pinned
+  /// slot shadows a stuck-wavelength fault on the same channel.
+  void set_pinned(std::span<const PinnedSlot> pinned) { pinned_ = pinned; }
 
  private:
   struct Attempt {
@@ -158,6 +192,7 @@ class Simulator {
   const PathCollection& collection_;
   SimConfig config_;
   OccupancyRegistry registry_;
+  std::span<const PinnedSlot> pinned_;  ///< held channels; see set_pinned()
 
   // Immutable per-collection views, snapshotted at construction (SoA hot
   // path + sharding decisions): the flattened link array, the contention

@@ -39,7 +39,7 @@ ValidationReport validate_pass(const PathCollection& collection,
   }
 
   std::uint64_t delivered = 0, killed = 0, truncated_arrivals = 0;
-  std::uint64_t fault_kills = 0, corrupted_arrivals = 0;
+  std::uint64_t fault_kills = 0, pinned_blocks = 0, corrupted_arrivals = 0;
   SimTime makespan = 0;
   for (WormId id = 0; id < specs.size(); ++id) {
     const WormOutcome& outcome = result.worms[id];
@@ -90,6 +90,14 @@ ValidationReport validate_pass(const PathCollection& collection,
             complain(describe(id, "fault kill must not name a witness"));
           break;
         }
+        if (outcome.pinned_loss) {
+          // Pinned blocks (a channel held by an established connection)
+          // are witness-free too: the blocker is not a pass worm.
+          ++pinned_blocks;
+          if (outcome.blocked_by != kInvalidWorm)
+            complain(describe(id, "pinned block must not name a witness"));
+          break;
+        }
         ++killed;
         const WormId blocker = outcome.blocked_by;
         if (blocker == kInvalidWorm || blocker >= specs.size() ||
@@ -117,6 +125,8 @@ ValidationReport validate_pass(const PathCollection& collection,
     complain("metrics.killed mismatch");
   if (result.metrics.fault_kills != fault_kills)
     complain("metrics.fault_kills mismatch");
+  if (result.metrics.pinned_blocks != pinned_blocks)
+    complain("metrics.pinned_blocks mismatch");
   if (result.metrics.corrupted_arrivals != corrupted_arrivals)
     complain("metrics.corrupted_arrivals mismatch");
   if (result.metrics.truncated_arrivals != truncated_arrivals)

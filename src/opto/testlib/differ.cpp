@@ -47,6 +47,9 @@ void compare_to_reference(const PassResult& fast, const PassResult& ref,
                   b.finish_time);
     if (a.truncated != b.truncated)
       report_worm(issues, src, id, "truncated", a.truncated, b.truncated);
+    if (a.pinned_loss != b.pinned_loss)
+      report_worm(issues, src, id, "pinned_loss", a.pinned_loss,
+                  b.pinned_loss);
     if (a.status == WormStatus::Killed) {
       if (a.blocked_by != b.blocked_by)
         report_worm(issues, src, id, "blocked_by", a.blocked_by, b.blocked_by);
@@ -72,6 +75,9 @@ void compare_to_reference(const PassResult& fast, const PassResult& ref,
     report_metric(issues, src, "contentions", m.contentions, r.contentions);
   if (m.retunes != r.retunes)
     report_metric(issues, src, "retunes", m.retunes, r.retunes);
+  if (m.pinned_blocks != r.pinned_blocks)
+    report_metric(issues, src, "pinned_blocks", m.pinned_blocks,
+                  r.pinned_blocks);
   if (m.worm_steps != r.worm_steps)
     report_metric(issues, src, "worm_steps", m.worm_steps, r.worm_steps);
   if (static_cast<std::uint64_t>(m.makespan) !=
@@ -98,6 +104,9 @@ void compare_runs(const PassResult& a, const PassResult& b,
       report_worm(issues, src, id, "corrupted", x.corrupted, y.corrupted);
     if (x.fault_loss != y.fault_loss)
       report_worm(issues, src, id, "fault_loss", x.fault_loss, y.fault_loss);
+    if (x.pinned_loss != y.pinned_loss)
+      report_worm(issues, src, id, "pinned_loss", x.pinned_loss,
+                  y.pinned_loss);
     if (x.finish_time != y.finish_time)
       report_worm(issues, src, id, "finish_time", x.finish_time,
                   y.finish_time);
@@ -121,6 +130,7 @@ void compare_runs(const PassResult& a, const PassResult& b,
   check("contentions", m.contentions, n.contentions);
   check("retunes", m.retunes, n.retunes);
   check("fault_kills", m.fault_kills, n.fault_kills);
+  check("pinned_blocks", m.pinned_blocks, n.pinned_blocks);
   check("corrupted", m.corrupted, n.corrupted);
   check("corrupted_arrivals", m.corrupted_arrivals, n.corrupted_arrivals);
   check("makespan", static_cast<std::uint64_t>(m.makespan),
@@ -153,6 +163,9 @@ void compare_sharded(const PassResult& seq, const PassResult& shard,
       report_worm(issues, src, id, "corrupted", x.corrupted, y.corrupted);
     if (x.fault_loss != y.fault_loss)
       report_worm(issues, src, id, "fault_loss", x.fault_loss, y.fault_loss);
+    if (x.pinned_loss != y.pinned_loss)
+      report_worm(issues, src, id, "pinned_loss", x.pinned_loss,
+                  y.pinned_loss);
     if (x.finish_time != y.finish_time)
       report_worm(issues, src, id, "finish_time", x.finish_time,
                   y.finish_time);
@@ -176,6 +189,7 @@ void compare_sharded(const PassResult& seq, const PassResult& shard,
   check("contentions", m.contentions, n.contentions);
   check("retunes", m.retunes, n.retunes);
   check("fault_kills", m.fault_kills, n.fault_kills);
+  check("pinned_blocks", m.pinned_blocks, n.pinned_blocks);
   check("corrupted", m.corrupted, n.corrupted);
   check("corrupted_arrivals", m.corrupted_arrivals, n.corrupted_arrivals);
   check("makespan", static_cast<std::uint64_t>(m.makespan),
@@ -226,13 +240,17 @@ DiffReport diff_case(const FuzzCase& fuzz) {
   SimConfig config = built->config;  // plan pointer stays valid: same scope
   config.record_trace = true;        // validate_occupancy needs the trace
 
+  const std::span<const PinnedSlot> pinned{fuzz.pinned.data(),
+                                           fuzz.pinned.size()};
   Simulator first(built->collection, config);
+  first.set_pinned(pinned);
   const PassResult fast = first.run(fuzz.specs);
   report.metrics = fast.metrics;
 
   // A fresh engine instance must reproduce the pass bit-for-bit; this is
   // the property --replay and the corpus rest on.
   Simulator second(built->collection, config);
+  second.set_pinned(pinned);
   const PassResult again = second.run(fuzz.specs);
   compare_runs(fast, again, &report.issues);
 
@@ -254,6 +272,7 @@ DiffReport diff_case(const FuzzCase& fuzz) {
   SimConfig sharded_config = config;
   sharded_config.sharding = PassSharding::On;
   Simulator sharded(built->collection, sharded_config);
+  sharded.set_pinned(pinned);
   const PassResult shard_pass = sharded.run(fuzz.specs);
   compare_sharded(fast, shard_pass, &report.issues);
 
@@ -261,7 +280,7 @@ DiffReport diff_case(const FuzzCase& fuzz) {
       config.faults != nullptr && config.faults->enabled();
   if (!faults_active) {
     const PassResult ref =
-        reference_run(built->collection, config, fuzz.specs);
+        reference_run(built->collection, config, fuzz.specs, pinned);
     compare_to_reference(fast, ref, &report.issues);
   }
   return report;

@@ -137,6 +137,17 @@ bool well_formed(const FuzzCase& fuzz, std::string* error) {
       return fail(error, "outage duration must fit inside the period");
   }
 
+  if (fuzz.pinned.size() > kMaxSpecs)
+    return fail(error, "too many pinned slots");
+  for (std::size_t i = 0; i < fuzz.pinned.size(); ++i) {
+    const PinnedSlot& slot = fuzz.pinned[i];
+    const std::string where = "pinned slot " + std::to_string(i);
+    if (slot.link >= 2 * fuzz.edges.size())
+      return fail(error, where + " references a missing link");
+    if (slot.wavelength >= fuzz.bandwidth)
+      return fail(error, where + " wavelength outside the bandwidth");
+  }
+
   std::set<std::uint32_t> priorities;
   for (std::size_t i = 0; i < fuzz.specs.size(); ++i) {
     const LaunchSpec& spec = fuzz.specs[i];
@@ -245,6 +256,18 @@ JsonValue case_to_json(const FuzzCase& fuzz) {
     faults.add_member("epoch",
                       JsonValue::of(static_cast<double>(fuzz.fault_epoch)));
     root.add_member("faults", std::move(faults));
+  }
+
+  if (!fuzz.pinned.empty()) {
+    JsonValue pinned = JsonValue::make_array();
+    for (const PinnedSlot& slot : fuzz.pinned) {
+      JsonValue entry = JsonValue::make_object();
+      entry.add_member("link", JsonValue::of(static_cast<double>(slot.link)));
+      entry.add_member("wavelength",
+                       JsonValue::of(static_cast<double>(slot.wavelength)));
+      pinned.items.push_back(std::move(entry));
+    }
+    root.add_member("pinned", std::move(pinned));
   }
 
   JsonValue specs = JsonValue::make_array();
@@ -388,6 +411,23 @@ std::optional<FuzzCase> case_from_json(const JsonValue& value,
     fuzz.faults.outage_period = static_cast<SimTime>(period);
     fuzz.faults.outage_duration = static_cast<SimTime>(duration);
     fuzz.fault_epoch = epoch;
+  }
+
+  // Optional: absent in pre-engine corpus files, which keep parsing.
+  if (const JsonValue* pinned = value.find("pinned"); pinned != nullptr) {
+    if (!pinned->is_array()) return bad("'pinned' must be an array");
+    for (const JsonValue& entry : pinned->items) {
+      if (!entry.is_object()) return bad("each pinned slot must be an object");
+      std::uint64_t link = 0, wavelength = 0;
+      if (!read_u64(entry, "link", 2 * kMaxEdges, &link, &field_error) ||
+          !read_u64(entry, "wavelength", kMaxBandwidth, &wavelength,
+                    &field_error))
+        return bad(field_error);
+      PinnedSlot slot;
+      slot.link = static_cast<EdgeId>(link);
+      slot.wavelength = static_cast<Wavelength>(wavelength);
+      fuzz.pinned.push_back(slot);
+    }
   }
 
   const JsonValue* specs = value.find("specs");

@@ -231,6 +231,22 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
     fuzz.fault_epoch = rng.next_below(4);
   }
 
+  // Pinned slots (held channels of the streaming engine): draw a few
+  // random directed (link, wavelength) pairs. Duplicates are allowed —
+  // the registry treats them as one claim.
+  const std::size_t link_count = 2 * fuzz.edges.size();
+  if (link_count > 0 && options.max_pinned > 0 &&
+      rng.next_bernoulli(options.pinned_probability)) {
+    const std::uint64_t slots = 1 + rng.next_below(options.max_pinned);
+    for (std::uint64_t s = 0; s < slots; ++s) {
+      PinnedSlot slot;
+      slot.link = static_cast<EdgeId>(rng.next_below(link_count));
+      slot.wavelength =
+          static_cast<Wavelength>(rng.next_below(fuzz.bandwidth));
+      fuzz.pinned.push_back(slot);
+    }
+  }
+
   // --- Launch schedule --------------------------------------------------
   std::uint32_t spec_count =
       path_count + static_cast<std::uint32_t>(

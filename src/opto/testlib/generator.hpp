@@ -39,6 +39,8 @@ struct GenOptions {
   SimTime max_start_spread = 10;
   double fault_probability = 0.25;
   double conversion_probability = 0.45; ///< Full or Sparse, combined
+  double pinned_probability = 0.25;     ///< case carries held channels
+  std::uint32_t max_pinned = 6;         ///< pinned slots per case
 };
 
 /// Deterministically generates case `index` of stream `seed`.

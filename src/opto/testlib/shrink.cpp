@@ -34,6 +34,7 @@ class Shrinker {
     while (progress && rounds < options_.max_rounds && !exhausted()) {
       progress = false;
       progress |= drop_spec_chunks();
+      progress |= drop_pinned();
       progress |= drop_unused_paths();
       progress |= truncate_paths();
       progress |= shorten_worms();
@@ -86,6 +87,26 @@ class Shrinker {
           start += chunk;
       }
       if (chunk == 1) break;
+    }
+    return progress;
+  }
+
+  /// Drops pinned slots: all at once first, then one at a time.
+  bool drop_pinned() {
+    bool progress = false;
+    if (current_.pinned.size() > 1) {
+      FuzzCase candidate = current_;
+      candidate.pinned.clear();
+      progress |= attempt(std::move(candidate));
+    }
+    for (std::size_t i = 0; !exhausted() && i < current_.pinned.size();) {
+      FuzzCase candidate = current_;
+      candidate.pinned.erase(candidate.pinned.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (attempt(std::move(candidate)))
+        progress = true;  // stay at `i`: the next slot slid here
+      else
+        ++i;
     }
     return progress;
   }

@@ -80,6 +80,30 @@ TEST(DynamicTraffic, DeterministicInSeed) {
   EXPECT_NE(a.blocked, c.blocked);
 }
 
+TEST(DynamicTraffic, ConnectionTableBoundedByActiveConnections) {
+  // Regression: the connection table used to grow by one row per
+  // accepted arrival for the whole run. With ids recycled through the
+  // free list, its high-water mark tracks concurrently-held circuits —
+  // ~load Erlangs in steady state — independent of arrival count.
+  const auto ring = make_ring(12);
+  auto config = config_with(8.0, 8, false);
+  config.arrivals = 60000;
+  config.warmup = 2000;
+  const auto result = simulate_dynamic_traffic(ring, config, 11);
+  EXPECT_GT(result.offered, 50000u);
+  EXPECT_GT(result.peak_connections, 0u);
+  EXPECT_LT(result.peak_connections, 200u);
+
+  // Quadrupling the arrivals must not grow the table materially: the
+  // steady state is the same (the max of more samples drifts up only
+  // logarithmically, nothing like 4×).
+  auto longer = config;
+  longer.arrivals = 240000;
+  const auto more = simulate_dynamic_traffic(ring, longer, 11);
+  EXPECT_GE(more.peak_connections, result.peak_connections);
+  EXPECT_LT(more.peak_connections, 200u);
+}
+
 TEST(DynamicTraffic, UtilizationWithinUnitInterval) {
   const auto torus = make_torus({3, 3});
   for (const double load : {1.0, 10.0, 100.0}) {
