@@ -1,5 +1,8 @@
 #include "opto/core/priority_assign.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "opto/util/assert.hpp"
 
 namespace opto {
@@ -41,6 +44,36 @@ std::vector<std::uint32_t> assign_priorities(
       }
       break;
   }
+  return ranks;
+}
+
+std::vector<std::uint32_t> assign_priorities(
+    PriorityStrategy strategy, std::span<const PathId> active_paths,
+    std::uint32_t total_paths, const CounterRng& rng,
+    std::span<const std::uint32_t> uids) {
+  if (strategy != PriorityStrategy::RandomPermutation) {
+    // The by-path strategies draw nothing; reuse the sequential
+    // implementation with a throwaway stream (never consumed).
+    Rng unused = Rng::stream(0, 0);
+    return assign_priorities(strategy, active_paths, total_paths, unused);
+  }
+  OPTO_ASSERT(uids.size() == active_paths.size());
+  // Rank = position after sorting members by their keyed draw. Each
+  // member's key is addressed by uid alone, so the resulting permutation
+  // is invariant under member-vector order and any other draws this round.
+  std::vector<std::uint64_t> keys(active_paths.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    keys[i] = rng.at(uids[i], CounterRng::kSlotPriority);
+  std::vector<std::uint32_t> order(active_paths.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (keys[a] != keys[b]) return keys[a] < keys[b];
+              return uids[a] < uids[b];
+            });
+  std::vector<std::uint32_t> ranks(active_paths.size());
+  for (std::size_t r = 0; r < order.size(); ++r)
+    ranks[order[r]] = static_cast<std::uint32_t>(r);
   return ranks;
 }
 

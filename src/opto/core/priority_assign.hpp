@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "opto/paths/path.hpp"
+#include "opto/rng/philox.hpp"
 #include "opto/rng/rng.hpp"
 
 namespace opto {
@@ -29,9 +30,21 @@ enum class PriorityStrategy : std::uint8_t {
 const char* to_string(PriorityStrategy strategy);
 
 /// Ranks for the given active worms (parallel to `active_paths`); pairwise
-/// distinct.
+/// distinct. Draws from a sequential stream, so the result depends on how
+/// much of `rng` was consumed before the call (legacy single-stream users,
+/// e.g. the multi-hop scheduler).
 std::vector<std::uint32_t> assign_priorities(
     PriorityStrategy strategy, std::span<const PathId> active_paths,
     std::uint32_t total_paths, Rng& rng);
+
+/// Keyed variant for the protocol layer: RandomPermutation ranks members by
+/// their drawn u64 key (uid breaks the ~2^-64 collisions), so a member's
+/// rank is a pure function of the (seed, round) behind `rng` and the set of
+/// active uids — independent of member order, other draws, batching, and
+/// thread count. `uids` is parallel to `active_paths`.
+std::vector<std::uint32_t> assign_priorities(
+    PriorityStrategy strategy, std::span<const PathId> active_paths,
+    std::uint32_t total_paths, const CounterRng& rng,
+    std::span<const std::uint32_t> uids);
 
 }  // namespace opto

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "opto/obs/obs.hpp"
+#include "opto/par/parallel_for.hpp"
 #include "opto/util/assert.hpp"
 
 namespace opto {
@@ -72,6 +73,19 @@ void record_run_observation(const ProtocolResult& result) {
   counters.duplicates.add(result.duplicate_deliveries);
 }
 
+/// Folds one round of a closed batch into its trial result — the shared
+/// accounting of run() and run_many().
+void fold_round(ProtocolResult& result, const ProtocolSession& session,
+                const RoundReport& report) {
+  for (const ProtocolSession::Completion& done : session.completed())
+    result.completion_round[done.tag] = report.round;
+  result.total_charged_time += report.charged_time;
+  result.total_actual_time +=
+      std::max(report.forward_makespan, report.ack_makespan) + 1;
+  result.rounds.push_back(report);
+  result.rounds_used = report.round;
+}
+
 }  // namespace
 
 // --- ProtocolSession ----------------------------------------------------
@@ -116,11 +130,15 @@ void ProtocolSession::admit(PathId path, std::uint64_t tag) {
   active_.push_back(path);
   tags_.push_back(tag);
   attempts_.push_back(0);
+  uids_.push_back(next_uid_++);
 }
 
 const RoundReport& ProtocolSession::step() {
   const std::uint32_t round = ++round_;
-  Rng rng = Rng::stream(seed_, round);
+  // Counter-based draws: everything this round needs is addressed by
+  // (member uid, slot) under the (seed, round) key — see the class
+  // determinism comment. No draw depends on any other draw.
+  const CounterRng rng(seed_, round);
   fault_plan_.set_epoch(round);
   SimTime delta = schedule_.delta(round);
   OPTO_ASSERT(delta >= 1);
@@ -144,7 +162,7 @@ const RoundReport& ProtocolSession::step() {
   const auto ranks = assign_priorities(config_.priorities, active_,
                                        static_cast<std::uint32_t>(
                                            collection_.size()),
-                                       rng);
+                                       rng, uids_);
 
   // Launch every member with a fresh random delay; the wavelength comes
   // from the chooser when one is installed (nullopt = sit this round
@@ -154,13 +172,15 @@ const RoundReport& ProtocolSession::step() {
   member_spec_.assign(active_.size(), kNoSpec);
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const auto start = static_cast<SimTime>(
-        rng.next_below(static_cast<std::uint64_t>(delta)));
+        rng.below(static_cast<std::uint64_t>(delta), uids_[i],
+                  CounterRng::kSlotStartDelay));
     std::optional<Wavelength> wavelength;
     if (chooser_)
       wavelength = chooser_(active_[i], tags_[i]);
     else
-      wavelength =
-          static_cast<Wavelength>(rng.next_below(config_.bandwidth));
+      wavelength = static_cast<Wavelength>(
+          rng.below(config_.bandwidth, uids_[i],
+                    CounterRng::kSlotWavelength));
     ++attempts_[i];
     if (!wavelength.has_value()) continue;
     LaunchSpec spec;
@@ -219,8 +239,9 @@ const RoundReport& ProtocolSession::step() {
       LaunchSpec spec;
       spec.path = active_[member];
       spec.start_time = forward_.worms[j].finish_time + 1;
-      spec.wavelength =
-          static_cast<Wavelength>(rng.next_below(config_.bandwidth));
+      spec.wavelength = static_cast<Wavelength>(
+          rng.below(config_.bandwidth, uids_[member],
+                    CounterRng::kSlotAckWavelength));
       spec.priority = ranks[member];
       spec.length = config_.ack_length;
       ack_specs_.push_back(spec);
@@ -241,9 +262,11 @@ const RoundReport& ProtocolSession::step() {
   still_active_.clear();
   still_tags_.clear();
   still_attempts_.clear();
+  still_uids_.clear();
   still_active_.reserve(active_.size());
   still_tags_.reserve(active_.size());
   still_attempts_.reserve(active_.size());
+  still_uids_.reserve(active_.size());
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const std::uint32_t j = member_spec_[i];
     const bool delivered =
@@ -273,12 +296,14 @@ const RoundReport& ProtocolSession::step() {
       still_active_.push_back(active_[i]);
       still_tags_.push_back(tags_[i]);
       still_attempts_.push_back(attempts_[i]);
+      still_uids_.push_back(uids_[i]);
     }
   }
   duplicates_ += report_.duplicates;
   std::swap(active_, still_active_);
   std::swap(tags_, still_tags_);
   std::swap(attempts_, still_attempts_);
+  std::swap(uids_, still_uids_);
 
   schedule_.observe(report_.active_before, report_.acknowledged);
   // RetryPolicy: widen the next window after fault-caused losses (lost
@@ -315,11 +340,13 @@ const std::vector<ProtocolSession::Completion>& ProtocolSession::remove_if(
     active_[keep] = active_[i];
     tags_[keep] = tags_[i];
     attempts_[keep] = attempts_[i];
+    uids_[keep] = uids_[i];
     ++keep;
   }
   active_.resize(keep);
   tags_.resize(keep);
   attempts_.resize(keep);
+  uids_.resize(keep);
   return expired_;
 }
 
@@ -371,18 +398,66 @@ ProtocolResult TrialAndFailure::run(std::uint64_t seed) {
   while (session.active_count() > 0 &&
          session.rounds_run() < config_.max_rounds) {
     const RoundReport& report = session.step();
-    for (const ProtocolSession::Completion& done : session.completed())
-      result.completion_round[done.tag] = report.round;
-    result.total_charged_time += report.charged_time;
-    result.total_actual_time +=
-        std::max(report.forward_makespan, report.ack_makespan) + 1;
-    result.rounds.push_back(report);
-    result.rounds_used = report.round;
+    fold_round(result, session, report);
   }
   result.duplicate_deliveries = session.duplicate_deliveries();
   result.success = session.active_count() == 0;
   if (obs::enabled()) record_run_observation(result);
   return result;
+}
+
+std::vector<ProtocolResult> TrialAndFailure::run_many(
+    std::span<const std::uint64_t> seeds,
+    std::span<DeltaSchedule* const> schedules) {
+  OPTO_ASSERT_MSG(seeds.size() == schedules.size(),
+                  "run_many: one schedule per seed");
+  const obs::ScopedTimer obs_timer("protocol.run_many");
+  const std::size_t trials = seeds.size();
+  std::vector<ProtocolResult> results(trials);
+  if (trials == 0) return results;
+
+  const PathCollection* reverse = config_.ack_mode == AckMode::Simulated
+                                      ? &ensure_reverse_collection()
+                                      : nullptr;
+  // One closed batch per trial, all admitted up front — the same setup
+  // run() performs, so trial k is bit-identical to run(seeds[k]).
+  std::vector<std::unique_ptr<ProtocolSession>> sessions;
+  sessions.reserve(trials);
+  const auto count = static_cast<PathId>(collection_.size());
+  for (std::size_t k = 0; k < trials; ++k) {
+    OPTO_ASSERT(schedules[k] != nullptr);
+    sessions.push_back(std::make_unique<ProtocolSession>(
+        collection_, config_, *schedules[k], seeds[k], reverse));
+    for (PathId id = 0; id < count; ++id) sessions[k]->admit(id, id);
+    results[k].completion_round.assign(collection_.size(), 0);
+  }
+
+  // The mega-pass: every live trial advances one round per sweep, fanned
+  // out over the pool. Each lane touches only its own session, schedule,
+  // and result slot; counter-based draws mean no RNG state is shared, so
+  // the interleaving (and OPTO_THREADS) cannot leak between trials.
+  bool any_live = true;
+  while (any_live) {
+    parallel_for(0, trials, [&](std::size_t k) {
+      ProtocolSession& session = *sessions[k];
+      if (session.active_count() == 0 ||
+          session.rounds_run() >= config_.max_rounds)
+        return;
+      const RoundReport& report = session.step();
+      fold_round(results[k], session, report);
+    });
+    any_live = false;
+    for (std::size_t k = 0; k < trials; ++k)
+      if (sessions[k]->active_count() > 0 &&
+          sessions[k]->rounds_run() < config_.max_rounds)
+        any_live = true;
+  }
+  for (std::size_t k = 0; k < trials; ++k) {
+    results[k].duplicate_deliveries = sessions[k]->duplicate_deliveries();
+    results[k].success = sessions[k]->active_count() == 0;
+    if (obs::enabled()) record_run_observation(results[k]);
+  }
+  return results;
 }
 
 }  // namespace opto

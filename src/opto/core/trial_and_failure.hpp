@@ -126,10 +126,15 @@ struct ProtocolResult {
 /// rolling admissions, held channels (set_pinned), and a first-fit
 /// wavelength chooser.
 ///
-/// Determinism: round t draws everything from Rng::stream(seed, t), so a
+/// Determinism: every draw of round t comes from the counter-based
+/// CounterRng(seed, t) (rng/philox.hpp) addressed by (member uid, draw
+/// slot), where a member's uid is its admission sequence number. A draw is
+/// therefore a pure function of (seed, round, uid) — not of member order,
+/// of which other members launch, or of how many draws precede it — so a
 /// session's trajectory is a pure function of (seed, admission sequence,
-/// chooser decisions, pinned sets) — independent of wall clock and thread
-/// count.
+/// chooser decisions, pinned sets), independent of wall clock, thread
+/// count, and whether other sessions run interleaved with it (see
+/// TrialAndFailure::run_many and DESIGN.md §9).
 class ProtocolSession {
  public:
   /// Per-round wavelength choice override. Called once per member per
@@ -229,9 +234,13 @@ class ProtocolSession {
   std::optional<Simulator> ack_sim_;
 
   // Members, parallel vectors compacted in order on retirement/expiry.
+  // uids_ carries each member's admission sequence number — the RNG
+  // address that survives compaction.
   std::vector<PathId> active_;
   std::vector<std::uint64_t> tags_;
   std::vector<std::uint32_t> attempts_;
+  std::vector<std::uint32_t> uids_;
+  std::uint32_t next_uid_ = 0;
 
   // Per-round state, hoisted so a steady-state round allocates nothing.
   RoundReport report_;
@@ -246,6 +255,7 @@ class ProtocolSession {
   std::vector<PathId> still_active_;
   std::vector<std::uint64_t> still_tags_;
   std::vector<std::uint32_t> still_attempts_;
+  std::vector<std::uint32_t> still_uids_;
   std::vector<Completion> completed_;
   std::vector<Wavelength> completed_history_;
   std::vector<Completion> expired_;
@@ -262,6 +272,18 @@ class TrialAndFailure {
   /// Runs the protocol to completion (or max_rounds); deterministic in
   /// `seed`.
   ProtocolResult run(std::uint64_t seed);
+
+  /// Trial-level batching: runs seeds.size() independent trials as one
+  /// lockstep mega-pass — every live trial advances one round per sweep,
+  /// sweeps fan out over the thread pool. Because every draw is a counter
+  /// lookup (no shared RNG state to advance), results[k] is bit-identical
+  /// to run(seeds[k]) for every batch shape and OPTO_THREADS value.
+  /// Schedules are per-trial (they are stateful via observe()) and must be
+  /// fresh — one per seed, parallel to `seeds`; the constructor's schedule
+  /// is not used.
+  std::vector<ProtocolResult> run_many(
+      std::span<const std::uint64_t> seeds,
+      std::span<DeltaSchedule* const> schedules);
 
   const ProtocolConfig& config() const { return config_; }
 

@@ -14,8 +14,29 @@ constexpr std::size_t kNoSlot = ~std::size_t{0};
 OccupancyRegistry::OccupancyRegistry()
     : slots_(kInitialCapacity), mask_(kInitialCapacity - 1) {}
 
+void OccupancyRegistry::use_dense(std::size_t link_count,
+                                  std::uint32_t bandwidth) {
+  OPTO_ASSERT_MSG(live_ == 0, "use_dense: registry must be empty");
+  OPTO_ASSERT(bandwidth >= 1);
+  bandwidth_ = bandwidth;
+  const std::size_t channels = link_count * bandwidth;
+  d_epoch_.assign(channels, 0);  // epoch_ >= 1, so 0 reads as empty
+  d_release_.assign(channels, 0);
+  d_claim_.assign(channels, Claim{});
+  slots_.clear();
+  slots_.shrink_to_fit();
+}
+
 const Claim* OccupancyRegistry::find(EdgeId link, Wavelength wavelength,
                                      SimTime now) const {
+  if (dense()) {
+    ++stats_.probes;
+    const std::size_t idx = dense_index(link, wavelength);
+    if (d_epoch_[idx] != epoch_ || d_release_[idx] <= now) return nullptr;
+    OPTO_DASSERT(d_claim_[idx].entry <= now);
+    ++stats_.hits;
+    return &d_claim_[idx];
+  }
   const std::uint64_t key = pack(link, wavelength);
   std::size_t idx = bucket(key);
   while (true) {
@@ -53,6 +74,16 @@ OccupancyRegistry::Slot* OccupancyRegistry::locate(std::uint64_t key) {
 void OccupancyRegistry::claim(EdgeId link, Wavelength wavelength,
                               const Claim& claim) {
   OPTO_DASSERT(claim.release > claim.entry);
+  if (dense()) {
+    const std::size_t idx = dense_index(link, wavelength);
+    if (d_epoch_[idx] != epoch_) {
+      d_epoch_[idx] = epoch_;
+      ++live_;
+    }
+    d_claim_[idx] = claim;
+    d_release_[idx] = claim.release;
+    return;
+  }
   if ((used_ + 1) * 4 >= slots_.size() * 3) grow();
   const std::uint64_t key = pack(link, wavelength);
   std::size_t idx = bucket(key);
@@ -95,6 +126,17 @@ void OccupancyRegistry::claim(EdgeId link, Wavelength wavelength,
 
 SimTime OccupancyRegistry::shorten(EdgeId link, Wavelength wavelength,
                                    WormId worm, SimTime new_release) {
+  if (dense()) {
+    const std::size_t idx = dense_index(link, wavelength);
+    if (d_epoch_[idx] != epoch_ || d_claim_[idx].worm != worm) return 0;
+    Claim& c = d_claim_[idx];
+    if (new_release < c.entry) new_release = c.entry;
+    if (new_release >= c.release) return 0;
+    const SimTime trimmed = c.release - new_release;
+    c.release = new_release;
+    d_release_[idx] = new_release;
+    return trimmed;
+  }
   Slot* slot = locate(pack(link, wavelength));
   if (slot == nullptr || slot->claim.worm != worm) return 0;
   if (new_release < slot->claim.entry) new_release = slot->claim.entry;
@@ -107,6 +149,7 @@ SimTime OccupancyRegistry::shorten(EdgeId link, Wavelength wavelength,
 void OccupancyRegistry::clear() {
   if (++epoch_ == 0) {  // epoch wrap: lazily-emptied slots become ambiguous
     for (Slot& slot : slots_) slot.epoch = 0;
+    for (std::uint32_t& e : d_epoch_) e = 0;
     epoch_ = 1;
   }
   live_ = 0;
@@ -115,6 +158,7 @@ void OccupancyRegistry::clear() {
 }
 
 void OccupancyRegistry::sweep(SimTime now) {
+  if (dense()) return;  // fixed slots; expiry is judged at read time
   for (Slot& slot : slots_) {
     if (slot.epoch != epoch_ || slot.dead) continue;
     if (slot.claim.release <= now) {
@@ -125,6 +169,7 @@ void OccupancyRegistry::sweep(SimTime now) {
 }
 
 void OccupancyRegistry::sweep_step(SimTime now, std::size_t budget) {
+  if (dense()) return;  // nothing to reclaim
   if (live_ == 0) return;
   budget = std::min(budget, slots_.size());
   for (std::size_t i = 0; i < budget; ++i) {

@@ -23,6 +23,16 @@
 //    a constant per-step GC cost with no periodic latency spike.
 //  * Lookup probes and hits are counted; the simulator surfaces them in
 //    PassMetrics so registry behaviour is visible in BENCH JSON.
+//
+// A second, dense backend (use_dense) direct-maps the full
+// (link, wavelength) channel space into SoA arrays when it is small enough
+// — every find/claim/shorten is one array access (probes = 1 per lookup by
+// construction), clear() stays O(1) via the same epoch trick, and sweeps
+// become no-ops (slots are fixed, expiry is judged at read time). The
+// simulator switches a registry to dense per topology; the choice never
+// depends on execution mode, so instrumentation stays comparable across
+// SIMD/threading knobs (DESIGN.md §9). The release array is exposed
+// read-only for the vectorized attempt prescan.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +41,7 @@
 
 #include "opto/graph/graph.hpp"
 #include "opto/optical/worm.hpp"
+#include "opto/util/assert.hpp"
 
 namespace opto {
 
@@ -50,6 +61,34 @@ class OccupancyRegistry {
   };
 
   OccupancyRegistry();
+
+  /// Switches to the dense direct-mapped backend over the full channel
+  /// space `link_count * bandwidth` (channel = link * bandwidth + λ).
+  /// Must be called while empty, before any claim; keys outside the range
+  /// are then undefined behaviour (the simulator guarantees both).
+  void use_dense(std::size_t link_count, std::uint32_t bandwidth);
+  bool dense() const { return bandwidth_ != 0; }
+
+  /// Dense-backend internals for the simulator's vectorized free-channel
+  /// prescan (attempt_kernel.cpp): a channel is free at `now` iff its
+  /// epoch differs from epoch() or its release is ≤ now. Null/0 under the
+  /// hash backend.
+  const std::uint32_t* dense_epochs() const {
+    return dense() ? d_epoch_.data() : nullptr;
+  }
+  const SimTime* dense_releases() const {
+    return dense() ? d_release_.data() : nullptr;
+  }
+  std::uint32_t epoch() const { return epoch_; }
+  std::uint32_t dense_bandwidth() const { return bandwidth_; }
+
+  /// Accounts a lookup the caller performed against the dense arrays
+  /// directly (the prescan), keeping probe/hit stats identical to the
+  /// find()-based path.
+  void count_external_probe(bool hit) const {
+    ++stats_.probes;
+    stats_.hits += hit ? 1 : 0;
+  }
 
   /// The live occupant of (link, wavelength) at time `now`, or nullptr.
   /// The pointer is valid until the next claim()/clear() (shorten and
@@ -73,9 +112,12 @@ class OccupancyRegistry {
   /// Forgets every claim. O(1): bumps the slot epoch.
   void clear();
 
-  /// Stored claims (live entries, expired-but-unswept included).
+  /// Stored claims (live entries, expired-but-unswept included; under the
+  /// dense backend: slots claimed since the last clear, expired included).
   std::size_t size() const { return live_; }
-  std::size_t capacity() const { return slots_.size(); }
+  std::size_t capacity() const {
+    return dense() ? d_claim_.size() : slots_.size();
+  }
 
   /// Drops every claim with release ≤ now (full garbage collection).
   void sweep(SimTime now);
@@ -111,6 +153,13 @@ class OccupancyRegistry {
 
   void grow();
 
+  std::size_t dense_index(EdgeId link, Wavelength wavelength) const {
+    const std::size_t idx =
+        static_cast<std::size_t>(link) * bandwidth_ + wavelength;
+    OPTO_DASSERT(idx < d_claim_.size());
+    return idx;
+  }
+
   std::vector<Slot> slots_;
   std::size_t mask_ = 0;
   std::size_t live_ = 0;      ///< live entries (what size() reports)
@@ -118,6 +167,14 @@ class OccupancyRegistry {
   std::uint32_t epoch_ = 1;
   std::size_t sweep_cursor_ = 0;
   mutable Stats stats_;
+
+  // Dense backend (active iff bandwidth_ != 0). d_release_ mirrors
+  // d_claim_[i].release in a contiguous array the SIMD prescan can gather
+  // from; claim()/shorten() keep the two in sync.
+  std::uint32_t bandwidth_ = 0;
+  std::vector<std::uint32_t> d_epoch_;
+  std::vector<SimTime> d_release_;
+  std::vector<Claim> d_claim_;
 };
 
 }  // namespace opto

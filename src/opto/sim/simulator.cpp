@@ -8,7 +8,9 @@
 
 #include "opto/obs/obs.hpp"
 #include "opto/par/parallel_for.hpp"
+#include "opto/par/simd.hpp"
 #include "opto/par/thread_pool.hpp"
+#include "opto/sim/attempt_kernel.hpp"
 #include "opto/util/assert.hpp"
 #include "opto/util/timer.hpp"
 
@@ -22,6 +24,12 @@ namespace {
 /// of distinct (link, wavelength) keys either way — sweeping only affects
 /// memory residency, never outcomes).
 constexpr std::size_t kSweepBudget = 16;
+
+/// Channel-space ceiling for the dense direct-mapped registry backend
+/// (occupancy.hpp): 2^17 channels keep the flat claim/release/epoch arrays
+/// at a few MB per simulator, which covers every bench topology while
+/// bounding memory for simulator fleets (run_many, per-shard instances).
+constexpr std::size_t kDenseRegistryMaxChannels = std::size_t{1} << 17;
 
 /// LSD radix sort over the low `passes` bytes of each key (higher bytes
 /// must be zero). For the per-step attempt keys — a few hundred to a few
@@ -156,6 +164,34 @@ Simulator::Simulator(const PathCollection& collection, SimConfig config)
     for (EdgeId link = 0; link < graph.link_count(); ++link)
       link_converts_[link] = converts_at(graph.source(link)) ? 1 : 0;
   }
+  // Direct-map the registry when the channel space is small enough to
+  // afford the flat arrays. The decision depends only on topology and
+  // config — never on SIMD/threading knobs — so instrumentation stays
+  // comparable across execution modes.
+  const std::size_t channels =
+      static_cast<std::size_t>(collection.graph().link_count()) *
+      config_.bandwidth;
+  if (channels > 0 && channels <= kDenseRegistryMaxChannels)
+    registry_.use_dense(collection.graph().link_count(), config_.bandwidth);
+  // Pre-bake the per-flat-position halves of the packed attempt key
+  // (attempt_kernel.hpp): the bandwidth-adaptive layout packs the
+  // wavelength into bit_width(B−1) bits, so narrow-B topologies sort
+  // fewer radix bytes. Only built when link ids fit the packed budget —
+  // the wide fallback computes its keys inline.
+  const unsigned wl_bits =
+      std::bit_width(static_cast<std::uint32_t>(config_.bandwidth) - 1u);
+  merge_bit_ = std::uint32_t{1} << wl_bits;
+  if (collection.graph().link_count() < (EdgeId{1} << 15)) {
+    flat_keys_.resize(flat_links_.size());
+    for (std::size_t j = 0; j < flat_links_.size(); ++j) {
+      const EdgeId link = flat_links_[j];
+      const bool merges =
+          !link_converts_.empty() && link_converts_[link] != 0;
+      flat_keys_[j] =
+          (link << (wl_bits + 1)) | (merges ? merge_bit_ : 0u);
+    }
+  }
+  simd_on_ = config_.simd != SimdMode::Off && simd::enabled();
 }
 
 bool Simulator::use_sharding(std::span<const LaunchSpec> specs) const {
@@ -539,18 +575,21 @@ void Simulator::run_pass(std::span<const LaunchSpec> specs,
   std::size_t next_injection = 0;
   SimTime now = count > 0 ? worms_[injection_order_.front()].start_time : 0;
 
-  // Link ids below 2^15 leave room for the 17-bit wavelength/merge field
-  // and a 32-bit worm id in one packed sort key (see step 2 below). The
-  // id field is packed to its minimum width so the radix sort touches as
-  // few byte-passes as possible.
-  const bool packed_attempts =
-      collection_.graph().link_count() < (EdgeId{1} << 15);
+  // Link ids below 2^15 leave room for the bandwidth-adaptive
+  // wavelength/merge field (wl_bits + 1 ≤ 17 bits; attempt_kernel.hpp)
+  // and a 32-bit worm id in one packed sort key (see step 2 below). Both
+  // the id and wavelength fields are packed to their minimum widths so
+  // the radix sort touches as few byte-passes as possible.
+  const bool packed_attempts = !flat_keys_.empty();
   const unsigned id_bits =
       std::bit_width(std::max<std::uint32_t>(count, 2) - 1);
   const std::uint64_t id_mask = (std::uint64_t{1} << id_bits) - 1;
   const unsigned link_bits = std::bit_width(
       std::max<EdgeId>(collection_.graph().link_count(), 2) - 1);
-  const unsigned radix_passes = (17 + link_bits + id_bits + 7) / 8;
+  const unsigned key_link_shift =
+      static_cast<unsigned>(std::countr_zero(merge_bit_)) + 1;
+  const unsigned radix_passes =
+      (key_link_shift + link_bits + id_bits + 7) / 8;
 
   const auto finish_kill = [&](WormId id, SimTime t, WormId blocker) {
     Worm& worm = worms_[id];
@@ -850,23 +889,36 @@ void Simulator::run_pass(std::span<const LaunchSpec> specs,
              plan->coupler_down(collection_.graph().source(link), now);
     };
     if (packed_attempts) {
-      attempt_keys_.clear();
-      for (WormId id : running_) {
-        OPTO_DASSERT(status_[id] == WormStatus::Running);
-        OPTO_DASSERT(worms_[id].entry_time(worms_[id].head_index) == now);
-        // SoA fast path: the head's link, wavelength, and the coupler's
-        // conversion capability come from flat parallel arrays — no
-        // Worm → Path → Graph chase per worm per step.
-        const EdgeId link = flat_links_[cursor_[id]];
-        if (faults_on && fault_blocks_entry(link)) {
-          fault_kill(id, link, now);
-          continue;
+      if (!faults_on) {
+        // Fault-free steps build every attempt word in SIMD lanes
+        // (attempt_kernel.hpp): one gather of the pre-baked link/merge
+        // half plus a masked OR of the wavelength per worm.
+        for ([[maybe_unused]] const WormId id : running_) {
+          OPTO_DASSERT(status_[id] == WormStatus::Running);
+          OPTO_DASSERT(worms_[id].entry_time(worms_[id].head_index) == now);
         }
-        const bool merge_wavelengths = convert && link_converts_[link] != 0;
-        const std::uint32_t key =
-            (link << 17) | (merge_wavelengths ? 0x10000u : wl_[id]);
-        attempt_keys_.push_back((static_cast<std::uint64_t>(key) << id_bits) |
-                                id);
+        attempt_keys_.resize(running_.size());
+        attempt::build_keys(running_, cursor_.data(), flat_keys_.data(),
+                            wl_.data(), merge_bit_, id_bits, simd_on_,
+                            attempt_keys_.data());
+      } else {
+        attempt_keys_.clear();
+        for (WormId id : running_) {
+          OPTO_DASSERT(status_[id] == WormStatus::Running);
+          OPTO_DASSERT(worms_[id].entry_time(worms_[id].head_index) == now);
+          // Fault elimination interleaves with key build, so faulty
+          // passes keep the scalar loop (same key formula as the kernel).
+          const EdgeId link = flat_links_[cursor_[id]];
+          if (fault_blocks_entry(link)) {
+            fault_kill(id, link, now);
+            continue;
+          }
+          const std::uint32_t fk = flat_keys_[cursor_[id]];
+          const std::uint32_t key =
+              fk | ((fk & merge_bit_) != 0 ? 0u : wl_[id]);
+          attempt_keys_.push_back((static_cast<std::uint64_t>(key) << id_bits) |
+                                  id);
+        }
       }
       // Small steps sort faster with introsort; large ones with the
       // byte-wise radix passes (the crossover is broad — anywhere in the
@@ -875,20 +927,53 @@ void Simulator::run_pass(std::span<const LaunchSpec> specs,
         std::sort(attempt_keys_.begin(), attempt_keys_.end());
       else
         radix_sort(attempt_keys_, attempt_keys_scratch_, radix_passes);
+      // Pre-screen the sorted words: a singleton fixed-wavelength group
+      // whose channel is free in the dense registry admits immediately —
+      // no group build, no find(). Runs in every lane mode (the kernel
+      // dispatch handles the level), so metrics and traces are identical
+      // by construction; see prescan_free_singletons for the legality
+      // argument. Faulty passes skip it (stuck sentinels and down links
+      // need the resolvers), as do sparse-registry topologies.
+      // Below a few dozen attempts the extra pass over the keys costs
+      // about what the skipped find() calls save; the gate is a pure
+      // throughput heuristic — the mask path and the group path produce
+      // identical outcomes, metrics, and traces, so step size can never
+      // change results.
+      const bool prescan =
+          !faults_on && registry_.dense() && attempt_keys_.size() >= 32;
+      if (prescan) {
+        admit_mask_.resize(attempt_keys_.size());
+        attempt::prescan_free_singletons(
+            attempt_keys_, id_bits, merge_bit_, config_.bandwidth,
+            registry_.dense_epochs(), registry_.epoch(),
+            registry_.dense_releases(), now, simd_on_, admit_mask_.data());
+      }
       for (std::size_t lo = 0; lo < attempt_keys_.size();) {
         const std::uint64_t key = attempt_keys_[lo] >> id_bits;
+        if (prescan && admit_mask_[lo] != 0) {
+          // The skipped find() was one dense probe that would have
+          // missed; keep the registry stats identical to the slow path.
+          registry_.count_external_probe(false);
+          admit(static_cast<WormId>(attempt_keys_[lo] & id_mask),
+                static_cast<EdgeId>(key >> key_link_shift),
+                static_cast<Wavelength>(key & (merge_bit_ - 1)),
+                /*retuned=*/false);
+          ++lo;
+          continue;
+        }
         group_worms_.clear();
         std::size_t hi = lo;
         while (hi < attempt_keys_.size() &&
                (attempt_keys_[hi] >> id_bits) == key)
           group_worms_.push_back(
               static_cast<WormId>(attempt_keys_[hi++] & id_mask));
-        const auto link = static_cast<EdgeId>(key >> 17);
+        const auto link = static_cast<EdgeId>(key >> key_link_shift);
         const std::span<const WormId> group{group_worms_};
-        if ((key & 0x10000u) != 0)
+        if ((key & merge_bit_) != 0)
           resolve_converting(link, group);
         else
-          resolve_fixed(link, static_cast<Wavelength>(key & 0xffffu), group);
+          resolve_fixed(link, static_cast<Wavelength>(key & (merge_bit_ - 1)),
+                        group);
         lo = hi;
       }
     } else {

@@ -50,6 +50,15 @@ enum class PassSharding : std::uint8_t {
   On,    ///< shard whenever ≥ 2 components are active (ignores the env gate)
 };
 
+/// Per-simulator override of the SIMD lane policy (par/simd.hpp). Auto
+/// follows the process-wide level (compile-time OPTO_SIMD_LEVEL capped by
+/// the OPTO_SIMD env var); Off pins this simulator to the scalar kernels
+/// regardless. Lane width never changes any output — worm outcomes, model
+/// metrics, instrumentation counters, and the raw trace are byte-identical
+/// across modes (the simd-diff CI job and differ stage 5 enforce this) —
+/// so Off exists for differential testing, not for correctness.
+enum class SimdMode : std::uint8_t { Auto, Off };
+
 /// Wavelength-conversion capability (§4 / the [11] comparator). The paper
 /// studies the conversion-free case; Full models converters at every
 /// router (Cypher et al.'s setting), Sparse models converters at selected
@@ -76,6 +85,8 @@ struct SimConfig {
   PassSharding sharding = PassSharding::Auto;
   /// Pool used by sharded passes; null selects ThreadPool::global().
   ThreadPool* pool = nullptr;
+  /// Lane policy for the packed attempt kernels; see SimdMode.
+  SimdMode simd = SimdMode::Auto;
 };
 
 /// A (directed link, wavelength) channel held by an established
@@ -202,6 +213,18 @@ class Simulator {
   const ComponentDecomposition* components_ = nullptr;
   std::vector<char> link_converts_;  ///< sized iff conversion is enabled
 
+  // Packed-attempt key layout (attempt_kernel.hpp), fixed at construction.
+  // flat_keys_[j] pre-bakes (link << (wl_bits+1)) | merge_bit for flat
+  // position j, so the per-step key build is one lookup + a masked OR of
+  // the worm's wavelength; built only when the packed path applies
+  // (link ids fit the budget). merge_bit_ = 1 << wl_bits, with
+  // wl_bits = bit_width(bandwidth − 1) — the layout adapts to B, keeping
+  // radix passes minimal. simd_on_ folds SimConfig::simd into the
+  // process-wide lane level once.
+  std::vector<std::uint32_t> flat_keys_;
+  std::uint32_t merge_bit_ = 0x10000u;
+  bool simd_on_ = false;
+
   // Pass-state scratch, hoisted so repeated run() calls reuse capacity
   // (zero steady-state allocation across protocol rounds). All of it is
   // reinitialized at the top of each pass.
@@ -213,6 +236,7 @@ class Simulator {
   std::vector<Attempt> attempts_;             ///< wide-key fallback path
   std::vector<std::uint64_t> attempt_keys_;   ///< packed (group key, worm)
   std::vector<std::uint64_t> attempt_keys_scratch_;  ///< radix ping-pong
+  std::vector<std::uint8_t> admit_mask_;  ///< free-singleton prescan flags
   std::vector<WormId> group_worms_;           ///< one contention group's ids
   std::vector<Contender> contenders_;
   /// Per-worm wavelength history; populated only when conversion is on.
@@ -228,7 +252,7 @@ class Simulator {
   // these flat arrays.
   std::vector<std::uint32_t> cursor_;
   std::vector<std::uint32_t> cursor_end_;
-  std::vector<Wavelength> wl_;
+  std::vector<std::uint32_t> wl_;  ///< widened for 32-bit SIMD gathers
   std::vector<WormStatus> status_;
 
   // Sharded-pass state. The parent keeps a bounded set of shard

@@ -87,11 +87,13 @@ void compare_to_reference(const PassResult& fast, const PassResult& ref,
                   static_cast<std::uint64_t>(r.makespan));
 }
 
-/// Exact determinism comparison between two runs of the production
-/// engine (wall_ns excluded: it is real time, not model time).
+/// Exact comparison between two runs of the production engine that must
+/// agree on every field, instrumentation included (wall_ns excluded: it
+/// is real time, not model time). Used by the determinism stage (two
+/// identical runs) and the SIMD stage (scalar kernels vs lane kernels,
+/// which the attempt_kernel contract requires to be byte-identical).
 void compare_runs(const PassResult& a, const PassResult& b,
-                  std::vector<std::string>* issues) {
-  const char* src = "determinism";
+                  std::vector<std::string>* issues, const char* src) {
   for (WormId id = 0; id < a.worms.size(); ++id) {
     const WormOutcome& x = a.worms[id];
     const WormOutcome& y = b.worms[id];
@@ -141,6 +143,31 @@ void compare_runs(const PassResult& a, const PassResult& b,
   check("registry_probes", m.registry_probes, n.registry_probes);
   check("registry_hits", m.registry_hits, n.registry_hits);
   check("peak_inflight", m.peak_inflight, n.peak_inflight);
+}
+
+/// Raw (non-canonical) trace equality: lane width must not even reorder
+/// events within a timestamp, so the SIMD stage compares the recorded
+/// stream as-is rather than the canonical ordering.
+void compare_traces_exact(const PassResult& a, const PassResult& b,
+                          std::vector<std::string>* issues, const char* src) {
+  const auto& x = a.trace.events();
+  const auto& y = b.trace.events();
+  if (x.size() != y.size()) {
+    std::ostringstream os;
+    os << "[" << src << "] raw trace size mismatch (" << x.size() << " vs "
+       << y.size() << " events)";
+    issues->push_back(os.str());
+    return;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == y[i]) continue;
+    std::ostringstream os;
+    os << "[" << src << "] raw trace diverges at event " << i << " (\""
+       << Trace::describe(x[i]) << "\" vs \"" << Trace::describe(y[i])
+       << "\")";
+    issues->push_back(os.str());
+    return;  // one divergence is enough; later events usually cascade
+  }
 }
 
 /// Sequential-vs-sharded engine comparison: every model-level output —
@@ -252,7 +279,22 @@ DiffReport diff_case(const FuzzCase& fuzz) {
   Simulator second(built->collection, config);
   second.set_pinned(pinned);
   const PassResult again = second.run(fuzz.specs);
-  compare_runs(fast, again, &report.issues);
+  compare_runs(fast, again, &report.issues, "determinism");
+
+  // SIMD lane-width cross-check: the scalar kernels, forced through the
+  // per-instance SimConfig::simd override (the OPTO_SIMD env cap is read
+  // once per process, so an env round-trip is not testable in-process),
+  // must reproduce the lane run bit-for-bit — instrumentation counters
+  // and the raw, non-canonical trace order included. In a scalar build
+  // (OPTO_SIMD_LEVEL=0) or under OPTO_SIMD=0 both runs use the scalar
+  // kernels and the stage degenerates to a determinism check.
+  SimConfig scalar_config = config;
+  scalar_config.simd = SimdMode::Off;
+  Simulator scalar_sim(built->collection, scalar_config);
+  scalar_sim.set_pinned(pinned);
+  const PassResult scalar = scalar_sim.run(fuzz.specs);
+  compare_runs(fast, scalar, &report.issues, "simd");
+  compare_traces_exact(fast, scalar, &report.issues, "simd");
 
   const ValidationReport pass_report =
       validate_pass(built->collection, config, fuzz.specs, fast);

@@ -5,16 +5,20 @@
 //     with a message instead of tripping an engine assert);
 //  2. two independent production Simulator runs, compared bit-for-bit —
 //     the engine must be deterministic for replay to mean anything;
-//  3. the validate.hpp invariant checkers (conservation, finish-time
+//  3. a scalar-vs-SIMD comparison (SimConfig::simd = Off forced against
+//     the process default), compared bit-for-bit including the engine's
+//     instrumentation counters and the raw trace order — lane width must
+//     never change a single byte (attempt_kernel.hpp contract);
+//  4. the validate.hpp invariant checkers (conservation, finish-time
 //     windows, witnesses, trace-based occupancy disjointness);
-//  4. a sequential-vs-sharded engine comparison (PassSharding::On forced)
+//  5. a sequential-vs-sharded engine comparison (PassSharding::On forced)
 //     over every model-level output — worm outcomes, model metrics, and
 //     the canonical trace ordering (engine-local instrumentation counters
 //     are excluded by the DESIGN.md §7 contract);
-//  5. when the case carries no *enabled* fault plan: a field-for-field
+//  6. when the case carries no *enabled* fault plan: a field-for-field
 //     comparison against the first-principles reference engine
-//     (reference_run models no faults, so faulty cases stop at 2–4 —
-//     a case whose fault plan has all-zero rates still reaches 5,
+//     (reference_run models no faults, so faulty cases stop at 2–5 —
+//     a case whose fault plan has all-zero rates still reaches 6,
 //     which pins the "disabled plan is bit-identical to no plan"
 //     contract).
 #pragma once
@@ -29,7 +33,8 @@ namespace opto::testlib {
 
 struct DiffReport {
   /// Human-readable disagreements, each prefixed with its source: [case],
-  /// [determinism], [validate], [occupancy], [sharded], or [reference].
+  /// [determinism], [simd], [validate], [occupancy], [sharded], or
+  /// [reference].
   std::vector<std::string> issues;
   /// Production-engine metrics of the run (zeroed when the case never
   /// built); lets callers select cases by behavior without re-running.

@@ -69,12 +69,18 @@ TEST(Protocol, DeterministicInSeed) {
   TrialAndFailure protocol(collection, config, schedule);
   const auto a = protocol.run(7);
   const auto b = protocol.run(7);
-  const auto c = protocol.run(8);
   EXPECT_EQ(a.rounds_used, b.rounds_used);
   EXPECT_EQ(a.total_charged_time, b.total_charged_time);
   EXPECT_EQ(a.completion_round, b.completion_round);
-  EXPECT_TRUE(a.rounds_used != c.rounds_used ||
-              a.completion_round != c.completion_round);
+  // The seed matters: on this easy workload a single other seed can
+  // coincide round-for-round by chance, so probe a few.
+  bool any_different = false;
+  for (std::uint64_t s = 8; s < 16 && !any_different; ++s) {
+    const auto c = protocol.run(s);
+    any_different = a.rounds_used != c.rounds_used ||
+                    a.completion_round != c.completion_round;
+  }
+  EXPECT_TRUE(any_different);
 }
 
 TEST(Protocol, ActiveSetShrinksMonotonically) {
