@@ -1,0 +1,65 @@
+// Raw syntax tree of one `.opto` scenario — shape only, no meaning.
+//
+// The parser produces this; validate.hpp turns it into the typed
+// ScenarioSpec. Keeping the two apart lets parse errors and semantic
+// errors carry equally precise source locations, and gives the grammar
+// fuzzer a stable intermediate to round-trip through.
+//
+// Grammar (full EBNF in DESIGN.md §10):
+//   program  := "scenario" STRING "{" item* "}"
+//   item     := section | setting
+//   section  := IDENT [IDENT] "{" setting* "}"
+//   setting  := IDENT value ";"
+//   value    := NUMBER | STRING | IDENT | "[" [value {"," value}] "]"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opto/dsl/lexer.hpp"
+
+namespace opto::dsl {
+
+/// Maximum list-in-list depth the parser accepts. Scenario data needs
+/// two levels (routes, launches); the cap exists so hostile inputs
+/// cannot recurse the parser off the stack.
+inline constexpr int kMaxListDepth = 8;
+
+struct Value {
+  enum class Kind : std::uint8_t { Number, String, Ident, List };
+
+  Kind kind = Kind::Number;
+  std::string text;          ///< number spelling / string payload / ident
+  std::vector<Value> items;  ///< Kind::List payload
+  SourceLoc loc;
+};
+
+struct Setting {
+  std::string key;
+  SourceLoc loc;       ///< of the key
+  Value value;
+};
+
+struct Section {
+  std::string keyword;       ///< "topology", "protocol", …
+  SourceLoc loc;
+  std::string variant;       ///< optional tag: `topology butterfly { … }`
+  SourceLoc variant_loc;
+  std::vector<Setting> settings;
+};
+
+struct ScenarioAst {
+  std::string file;          ///< for diagnostics
+  std::string name;          ///< the quoted scenario name
+  SourceLoc loc;             ///< of the `scenario` keyword
+  std::vector<Setting> settings;   ///< top-level `key value;` items
+  std::vector<Section> sections;   ///< in declaration order
+};
+
+/// Parses one program. On failure returns false and fills `error` with a
+/// source-located message; duplicate sections are rejected here (the
+/// location names the second occurrence).
+bool parse_program(std::string_view source, const std::string& file,
+                   ScenarioAst& ast, DslError& error);
+
+}  // namespace opto::dsl

@@ -1,0 +1,104 @@
+// Hand-coded C++ equivalents of the committed example scenarios.
+//
+// Each builtin constructs its factories and configs in plain C++ exactly
+// the way the corresponding bench binary does (bench_e1_leveled_upper,
+// bench_e15_fault_resilience, bench_e17_streaming_engine) — no DSL code
+// anywhere on this path — and feeds the shared run core. The
+// scenario-smoke CI job runs `opto_run --run examples/<name>.opto` and
+// `opto_run --builtin <name>` and byte-compares the two result files;
+// any drift between the DSL front-end and the native object model shows
+// up as a diff, not as silently different science.
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "opto/dsl/run_core.hpp"
+#include "opto/dsl/runner.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/ring.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/workloads.hpp"
+
+namespace opto::dsl {
+
+namespace {
+
+/// Mirrors bench_e1_leveled_upper.cpp's factory at dim 6 (and
+/// bench_e15_fault_resilience.cpp's butterfly_factory).
+CollectionFactory butterfly_permutation_factory(std::uint32_t dim) {
+  return [dim](std::uint64_t seed) {
+    auto topo = std::make_shared<ButterflyTopology>(make_butterfly(dim));
+    Rng rng(seed);
+    const auto perm = random_permutation(topo->rows(), rng);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> requests;
+    for (std::uint32_t r = 0; r < topo->rows(); ++r)
+      requests.emplace_back(r, perm[r]);
+    return butterfly_io_collection(topo, requests);
+  };
+}
+
+/// E1 at the dim-6, B=4, L=8 operating point.
+JsonValue builtin_e1() {
+  ProtocolConfig config;
+  config.bandwidth = 4;
+  config.worm_length = 8;
+  config.max_rounds = 2000;
+  return detail::run_closed(butterfly_permutation_factory(6),
+                            paper_schedule_factory(8, 4), config, 30, 11,
+                            "e1-leveled-upper");
+}
+
+/// E15's resilience curve at link-fault rate 0.4 (butterfly dim 6).
+JsonValue builtin_e15() {
+  ProtocolConfig config;
+  config.bandwidth = 2;
+  config.worm_length = 4;
+  config.max_rounds = 16;
+  config.faults.link_outage_rate = 0.4;
+  config.faults.outage_period = 64;
+  config.faults.outage_duration = 32;
+  return detail::run_closed(
+      butterfly_permutation_factory(6),
+      paper_schedule_factory(config.worm_length, config.bandwidth), config,
+      30, 151, "e15-fault-resilience");
+}
+
+/// E17's recorded ring-8 operating point (rate 32, B=4).
+JsonValue builtin_e17() {
+  auto ring = std::make_shared<Graph>(make_ring(8));
+  EngineConfig config;
+  config.protocol.bandwidth = 4;
+  config.traffic.rate = 32.0;
+  config.round_interval = 0.02;
+  config.arrivals = scaled_trials(60000);
+  config.warmup = config.arrivals / 10;
+  config.record = true;
+  return detail::run_engine(std::move(ring), config, 99,
+                            "e17-streaming-engine");
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_names() {
+  return {"e1-leveled-upper", "e15-fault-resilience", "e17-streaming-engine"};
+}
+
+bool run_builtin(const std::string& name, JsonValue& result,
+                 std::string& error) {
+  if (name == "e1-leveled-upper") {
+    result = builtin_e1();
+    return true;
+  }
+  if (name == "e15-fault-resilience") {
+    result = builtin_e15();
+    return true;
+  }
+  if (name == "e17-streaming-engine") {
+    result = builtin_e17();
+    return true;
+  }
+  error = "unknown builtin '" + name + "'";
+  return false;
+}
+
+}  // namespace opto::dsl

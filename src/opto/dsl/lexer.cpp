@@ -1,0 +1,186 @@
+#include "opto/dsl/lexer.hpp"
+
+#include <cctype>
+
+namespace opto::dsl {
+
+std::string DslError::format() const {
+  return file + ":" + std::to_string(loc.line) + ":" + std::to_string(loc.col) +
+         ": " + message;
+}
+
+std::string describe(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::String: return "string";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semi: return "';'";
+    case TokenKind::End: return "end of file";
+  }
+  return "token";
+}
+
+std::string Token::describe() const {
+  switch (kind) {
+    case TokenKind::Ident: return "identifier '" + text + "'";
+    case TokenKind::Number: return "number '" + text + "'";
+    case TokenKind::String: return "string \"" + text + "\"";
+    default: return dsl::describe(kind);
+  }
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : source_(source) {}
+
+  bool done() const { return pos_ >= source_.size(); }
+  char peek() const { return source_[pos_]; }
+  char peek2() const {
+    return pos_ + 1 < source_.size() ? source_[pos_ + 1] : '\0';
+  }
+  SourceLoc loc() const { return loc_; }
+
+  char take() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.col = 1;
+    } else {
+      ++loc_.col;
+    }
+    return c;
+  }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+};
+
+}  // namespace
+
+bool lex(std::string_view source, const std::string& file,
+         std::vector<Token>& tokens, DslError& error) {
+  tokens.clear();
+  Cursor cur(source);
+  const auto fail = [&](SourceLoc at, std::string message) {
+    error = DslError{file, at, std::move(message)};
+    return false;
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      cur.take();
+      continue;
+    }
+    if (c == '#' || (c == '/' && cur.peek2() == '/')) {
+      while (!cur.done() && cur.peek() != '\n') cur.take();
+      continue;
+    }
+    const SourceLoc at = cur.loc();
+    if (ident_start(c)) {
+      std::string text;
+      while (!cur.done() && ident_char(cur.peek())) text.push_back(cur.take());
+      tokens.push_back(Token{TokenKind::Ident, std::move(text), at});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') &&
+         std::isdigit(static_cast<unsigned char>(cur.peek2())))) {
+      std::string text;
+      text.push_back(cur.take());  // sign or first digit
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (!cur.done()) {
+        const char d = cur.peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          text.push_back(cur.take());
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          text.push_back(cur.take());
+        } else if ((d == 'e' || d == 'E') && !seen_exp) {
+          seen_exp = true;
+          text.push_back(cur.take());
+          if (!cur.done() && (cur.peek() == '+' || cur.peek() == '-'))
+            text.push_back(cur.take());
+        } else if (ident_char(d) || d == '.') {
+          // 1.2.3, 0x1f, 12abc … — reject with the full bad spelling.
+          while (!cur.done() && (ident_char(cur.peek()) || cur.peek() == '.'))
+            text.push_back(cur.take());
+          return fail(at, "malformed number '" + text + "'");
+        } else {
+          break;
+        }
+      }
+      const char last = text.back();
+      if (!std::isdigit(static_cast<unsigned char>(last)))
+        return fail(at, "malformed number '" + text + "'");
+      tokens.push_back(Token{TokenKind::Number, std::move(text), at});
+      continue;
+    }
+    if (c == '"') {
+      cur.take();
+      std::string text;
+      bool closed = false;
+      while (!cur.done()) {
+        const char d = cur.take();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\n') break;  // strings are single-line
+        if (d == '\\') {
+          if (cur.done()) break;
+          const char e = cur.take();
+          switch (e) {
+            case '"': text.push_back('"'); break;
+            case '\\': text.push_back('\\'); break;
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            default:
+              return fail(at, std::string("unknown escape '\\") + e +
+                                  "' in string");
+          }
+          continue;
+        }
+        text.push_back(d);
+      }
+      if (!closed) return fail(at, "unterminated string");
+      tokens.push_back(Token{TokenKind::String, std::move(text), at});
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '{': kind = TokenKind::LBrace; break;
+      case '}': kind = TokenKind::RBrace; break;
+      case '[': kind = TokenKind::LBracket; break;
+      case ']': kind = TokenKind::RBracket; break;
+      case ',': kind = TokenKind::Comma; break;
+      case ';': kind = TokenKind::Semi; break;
+      default:
+        return fail(at, std::string("unexpected character '") + c + "'");
+    }
+    cur.take();
+    tokens.push_back(Token{kind, std::string(1, c), at});
+  }
+  tokens.push_back(Token{TokenKind::End, "", cur.loc()});
+  return true;
+}
+
+}  // namespace opto::dsl

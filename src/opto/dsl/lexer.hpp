@@ -1,0 +1,68 @@
+// Lexer for the `.opto` scenario language (DESIGN.md §10).
+//
+// The token stream is deliberately small — identifiers, numbers, strings,
+// six punctuators — because every scenario construct is spelled as
+// `key value;` settings inside `section { … }` blocks. Numbers keep
+// their raw spelling so 64-bit seeds survive untruncated (JSON-style
+// doubles would round them) and so diagnostics can echo exactly what the
+// author wrote. Every token carries a 1-based line:column source
+// location; all downstream errors (parse and validation alike) format as
+// `file:line:col: message`, which the golden diagnostic tests pin
+// byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opto::dsl {
+
+struct SourceLoc {
+  std::uint32_t line = 1;
+  std::uint32_t col = 1;
+};
+
+/// A lexing/parsing/validation diagnostic: one source-located message.
+struct DslError {
+  std::string file;
+  SourceLoc loc;
+  std::string message;
+
+  /// `file:line:col: message` — the format every .opto consumer prints.
+  std::string format() const;
+};
+
+enum class TokenKind : std::uint8_t {
+  Ident,     ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,    ///< raw spelling kept in `text`
+  String,    ///< unescaped payload in `text`
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  End,       ///< end of input
+};
+
+/// Human-readable token description for "expected X, got Y" messages.
+std::string describe(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;  ///< identifier spelling, number spelling, string payload
+  SourceLoc loc;
+
+  /// What this token looks like in a diagnostic ("identifier 'mesh'",
+  /// "number '42'", "'{'", "end of file").
+  std::string describe() const;
+};
+
+/// Tokenizes a whole program. Comments run `#` or `//` to end of line.
+/// On failure returns false and fills `error`; `tokens` always ends with
+/// an End token on success.
+bool lex(std::string_view source, const std::string& file,
+         std::vector<Token>& tokens, DslError& error);
+
+}  // namespace opto::dsl

@@ -1,0 +1,191 @@
+// Recursive-descent parser for the `.opto` grammar (ast.hpp).
+#include <cstddef>
+
+#include "opto/dsl/ast.hpp"
+
+namespace opto::dsl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string file, ScenarioAst& ast,
+         DslError& error)
+      : tokens_(std::move(tokens)), file_(std::move(file)), ast_(ast),
+        error_(error) {}
+
+  bool run() {
+    ast_.file = file_;
+    if (!expect_ident("scenario", "a scenario starts with 'scenario'"))
+      return false;
+    ast_.loc = tokens_[pos_ - 1].loc;
+    if (peek().kind != TokenKind::String)
+      return fail(peek().loc, "expected scenario name string, got " +
+                                  peek().describe());
+    ast_.name = take().text;
+    if (!expect(TokenKind::LBrace, "after the scenario name")) return false;
+    while (peek().kind != TokenKind::RBrace) {
+      if (peek().kind == TokenKind::End)
+        return fail(peek().loc, "expected '}' closing the scenario, got " +
+                                    peek().describe());
+      if (!item()) return false;
+    }
+    take();  // '}'
+    if (peek().kind != TokenKind::End)
+      return fail(peek().loc, "expected end of file after the scenario, got " +
+                                  peek().describe());
+    return true;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& take() { return tokens_[pos_++]; }
+
+  bool fail(SourceLoc loc, std::string message) {
+    error_ = DslError{file_, loc, std::move(message)};
+    return false;
+  }
+
+  bool expect(TokenKind kind, const std::string& context) {
+    if (peek().kind == kind) {
+      take();
+      return true;
+    }
+    return fail(peek().loc, "expected " + describe(kind) + " " + context +
+                                ", got " + peek().describe());
+  }
+
+  bool expect_ident(const std::string& word, const std::string& message) {
+    if (peek().kind == TokenKind::Ident && peek().text == word) {
+      take();
+      return true;
+    }
+    return fail(peek().loc, message + ", got " + peek().describe());
+  }
+
+  /// One scenario body item: `key value;` or `keyword [tag] { … }`.
+  bool item() {
+    if (peek().kind != TokenKind::Ident)
+      return fail(peek().loc, "expected a setting or section name, got " +
+                                  peek().describe());
+    const bool is_section =
+        peek(1).kind == TokenKind::LBrace ||
+        (peek(1).kind == TokenKind::Ident &&
+         peek(2).kind == TokenKind::LBrace);
+    if (is_section) return section();
+    Setting setting;
+    if (!parse_setting(setting)) return false;
+    ast_.settings.push_back(std::move(setting));
+    return true;
+  }
+
+  bool section() {
+    Section section;
+    const Token& keyword = take();
+    section.keyword = keyword.text;
+    section.loc = keyword.loc;
+    if (peek().kind == TokenKind::Ident) {
+      const Token& tag = take();
+      section.variant = tag.text;
+      section.variant_loc = tag.loc;
+    }
+    for (const Section& prior : ast_.sections) {
+      if (prior.keyword == section.keyword)
+        return fail(section.loc,
+                    "duplicate '" + section.keyword + "' section (first at " +
+                        "line " + std::to_string(prior.loc.line) + ")");
+    }
+    take();  // '{' (guaranteed by the lookahead in item())
+    while (peek().kind != TokenKind::RBrace) {
+      if (peek().kind == TokenKind::End)
+        return fail(peek().loc, "expected '}' closing section '" +
+                                    section.keyword + "', got " +
+                                    peek().describe());
+      Setting setting;
+      if (!parse_setting(setting)) return false;
+      section.settings.push_back(std::move(setting));
+    }
+    take();  // '}'
+    ast_.sections.push_back(std::move(section));
+    return true;
+  }
+
+  bool parse_setting(Setting& setting) {
+    if (peek().kind != TokenKind::Ident)
+      return fail(peek().loc,
+                  "expected a setting name, got " + peek().describe());
+    const Token& key = take();
+    setting.key = key.text;
+    setting.loc = key.loc;
+    if (!parse_value(setting.value, 0)) return false;
+    return expect(TokenKind::Semi, "after setting '" + setting.key + "'");
+  }
+
+  bool parse_value(Value& value, int depth) {
+    const Token& token = peek();
+    value.loc = token.loc;
+    switch (token.kind) {
+      case TokenKind::Number:
+        value.kind = Value::Kind::Number;
+        value.text = take().text;
+        return true;
+      case TokenKind::String:
+        value.kind = Value::Kind::String;
+        value.text = take().text;
+        return true;
+      case TokenKind::Ident:
+        value.kind = Value::Kind::Ident;
+        value.text = take().text;
+        return true;
+      case TokenKind::LBracket: {
+        if (depth >= kMaxListDepth)
+          return fail(token.loc, "list nesting deeper than " +
+                                     std::to_string(kMaxListDepth) +
+                                     " levels");
+        take();  // '['
+        value.kind = Value::Kind::List;
+        value.text.clear();
+        if (peek().kind == TokenKind::RBracket) {
+          take();
+          return true;
+        }
+        while (true) {
+          Value item;
+          if (!parse_value(item, depth + 1)) return false;
+          value.items.push_back(std::move(item));
+          if (peek().kind == TokenKind::Comma) {
+            take();
+            continue;
+          }
+          return expect(TokenKind::RBracket, "closing the list");
+        }
+      }
+      default:
+        return fail(token.loc,
+                    "expected a value (number, string, identifier, or "
+                    "list), got " + token.describe());
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::string file_;
+  std::size_t pos_ = 0;
+  ScenarioAst& ast_;
+  DslError& error_;
+};
+
+}  // namespace
+
+bool parse_program(std::string_view source, const std::string& file,
+                   ScenarioAst& ast, DslError& error) {
+  ast = ScenarioAst{};
+  std::vector<Token> tokens;
+  if (!lex(source, file, tokens, error)) return false;
+  Parser parser(std::move(tokens), file, ast, error);
+  return parser.run();
+}
+
+}  // namespace opto::dsl

@@ -1,0 +1,45 @@
+// Shared run core behind both scenario front-ends.
+//
+// The DSL runner (runner.cpp) builds factories/configs from a
+// ScenarioSpec; the hand-coded builtins (builtins.cpp) construct the
+// same objects in plain C++, mirroring the bench binaries line for
+// line. Both feed these three functions, so a byte-compare of the
+// returned model-result JSON proves the DSL front-end equivalent to the
+// hand-coded path — the run core cannot diverge with itself.
+//
+// The result document ("opto.scenario.result/1") contains only
+// deterministic model-level values: no wall-clock fields, no engine
+// instrumentation counters (those differ across PassSharding modes by
+// the DESIGN.md §7 contract).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "opto/benchsupport/experiment.hpp"
+#include "opto/engine/engine.hpp"
+#include "opto/testlib/fuzz_case.hpp"
+#include "opto/util/json_parse.hpp"
+
+namespace opto::dsl::detail {
+
+/// Closed experiment: REPRO_SCALE-scaled trials of Trial-and-Failure
+/// over factory-built collections (benchsupport run_trials semantics,
+/// including its per-trial seed derivation).
+JsonValue run_closed(const CollectionFactory& factory,
+                     const ScheduleFactory& schedule_factory,
+                     const ProtocolConfig& config, std::size_t base_trials,
+                     std::uint64_t seed, const std::string& label);
+
+/// Streaming engine run; `config.arrivals`/`warmup` must already be
+/// scaled by the caller (both front-ends call scaled_trials the same
+/// way the E17 bench does).
+JsonValue run_engine(std::shared_ptr<const Graph> graph,
+                     const EngineConfig& config, std::uint64_t seed,
+                     const std::string& label);
+
+/// One raw simulator pass over a well-formed FuzzCase.
+JsonValue run_pass(const testlib::FuzzCase& fuzz, const std::string& label);
+
+}  // namespace opto::dsl::detail

@@ -1,0 +1,262 @@
+// DSL front-end of the shared run core: ScenarioSpec → native objects.
+//
+// The factory lambdas here deliberately mirror the bench binaries'
+// hand-written factories call for call (same topology construction, same
+// Rng draw order) — that is what makes the byte-equivalence against the
+// hand-coded builtins a meaningful proof rather than a tautology.
+#include "opto/dsl/runner.hpp"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "opto/dsl/run_core.hpp"
+#include "opto/graph/butterfly.hpp"
+#include "opto/graph/complete.hpp"
+#include "opto/graph/hypercube.hpp"
+#include "opto/graph/mesh.hpp"
+#include "opto/graph/ring.hpp"
+#include "opto/paths/bfs_shortest.hpp"
+#include "opto/paths/butterfly_paths.hpp"
+#include "opto/paths/workloads.hpp"
+
+namespace opto::dsl {
+
+namespace {
+
+std::shared_ptr<const Graph> build_graph(const TopologySpec& topo) {
+  if (topo.family == "butterfly")
+    return std::make_shared<Graph>(std::move(make_butterfly(topo.dim).graph));
+  if (topo.family == "mesh")
+    return std::make_shared<Graph>(
+        std::move(make_mesh({topo.side, topo.side}).graph));
+  if (topo.family == "ring")
+    return std::make_shared<Graph>(make_ring(topo.nodes));
+  if (topo.family == "hypercube")
+    return std::make_shared<Graph>(make_hypercube(topo.dim));
+  if (topo.family == "complete")
+    return std::make_shared<Graph>(make_complete(topo.nodes));
+  if (topo.family == "single_link") {
+    auto graph = std::make_shared<Graph>(2, "single-link");
+    graph->add_edge(0, 1);
+    return graph;
+  }
+  auto graph = std::make_shared<Graph>(topo.nodes, "explicit");
+  for (const auto& [u, v] : topo.edges) graph->add_edge(u, v);
+  return graph;
+}
+
+/// Request list for the declared workload, drawing from `rng` exactly
+/// like the bench factories do (permutation: one random_permutation
+/// call; random_function: one random_function call).
+std::vector<std::pair<NodeId, NodeId>> workload_requests(
+    const std::string& workload, std::uint32_t n, Rng& rng) {
+  if (workload == "permutation") {
+    const auto perm = random_permutation(n, rng);
+    std::vector<std::pair<NodeId, NodeId>> requests;
+    for (std::uint32_t i = 0; i < n; ++i) requests.emplace_back(i, perm[i]);
+    return requests;
+  }
+  return function_requests(random_function(n, rng));
+}
+
+CollectionFactory make_factory(const ScenarioSpec& spec) {
+  const TopologySpec topo = spec.topology;
+  const PathsSpec paths = spec.paths;
+
+  if (paths.system == "explicit") {
+    auto graph = build_graph(topo);
+    std::vector<std::vector<NodeId>> routes(paths.routes.begin(),
+                                            paths.routes.end());
+    return [graph, routes](std::uint64_t) {
+      return collection_from_node_lists(graph, routes);
+    };
+  }
+  if (paths.system == "butterfly_io") {
+    const std::uint32_t dim = topo.dim;
+    const std::string workload = paths.workload;
+    return [dim, workload](std::uint64_t seed) {
+      auto bf = std::make_shared<ButterflyTopology>(make_butterfly(dim));
+      Rng rng(seed);
+      const auto requests = workload_requests(workload, bf->rows(), rng);
+      return butterfly_io_collection(bf, requests);
+    };
+  }
+  if (paths.system == "mesh_dimension_order") {
+    const std::uint32_t side = topo.side;
+    const std::string workload = paths.workload;
+    return [side, workload](std::uint64_t seed) {
+      auto mesh = std::make_shared<MeshTopology>(make_mesh({side, side}));
+      Rng rng(seed);
+      if (workload == "random_function") return mesh_random_function(mesh, rng);
+      const auto requests =
+          workload_requests(workload, mesh->graph.node_count(), rng);
+      return mesh_collection(mesh, requests);
+    };
+  }
+  // bfs: shortest paths over the plain graph of any family.
+  auto graph = build_graph(topo);
+  const std::string workload = paths.workload;
+  return [graph, workload](std::uint64_t seed) {
+    Rng rng(seed);
+    return workload == "permutation" ? bfs_random_permutation(graph, rng)
+                                     : bfs_random_function(graph, rng);
+  };
+}
+
+ScheduleFactory make_schedule(const ScenarioSpec& spec) {
+  const ScheduleSpec sched = spec.schedule;
+  if (sched.kind == "paper") {
+    PaperSchedule::Constants constants;
+    constants.congestion_factor = sched.congestion_factor;
+    constants.log_floor_factor = sched.log_floor_factor;
+    return paper_schedule_factory(spec.protocol.worm_length,
+                                  static_cast<std::uint16_t>(
+                                      spec.protocol.bandwidth),
+                                  constants);
+  }
+  if (sched.kind == "fixed") {
+    const SimTime delta = static_cast<SimTime>(sched.delta);
+    return [delta](const PathCollection&) {
+      return std::make_unique<FixedSchedule>(delta);
+    };
+  }
+  if (sched.kind == "nodelay") {
+    return [](const PathCollection&) {
+      return std::make_unique<NoDelaySchedule>();
+    };
+  }
+  const SimTime initial = static_cast<SimTime>(sched.initial);
+  return [initial](const PathCollection&) {
+    return std::make_unique<AdaptiveSchedule>(initial);
+  };
+}
+
+FaultConfig make_faults(const FaultSpec& spec) {
+  FaultConfig config;
+  config.link_outage_rate = spec.link_outage_rate;
+  config.coupler_outage_rate = spec.coupler_outage_rate;
+  config.outage_period = static_cast<SimTime>(spec.outage_period);
+  config.outage_duration = static_cast<SimTime>(spec.outage_duration);
+  config.stuck_wavelength_rate = spec.stuck_wavelength_rate;
+  config.corruption_rate = spec.corruption_rate;
+  config.ack_drop_rate = spec.ack_drop_rate;
+  return config;
+}
+
+ProtocolConfig make_protocol(const ScenarioSpec& spec) {
+  const ProtocolSpec& proto = spec.protocol;
+  ProtocolConfig config;
+  config.rule = proto.rule == "priority" ? ContentionRule::Priority
+                                         : ContentionRule::ServeFirst;
+  config.tie = proto.tie == "first_wins" ? TiePolicy::FirstWins
+                                         : TiePolicy::KillAll;
+  config.bandwidth = static_cast<std::uint16_t>(proto.bandwidth);
+  config.worm_length = proto.worm_length;
+  config.max_rounds = proto.max_rounds;
+  config.ack_mode =
+      proto.ack == "simulated" ? AckMode::Simulated : AckMode::Ideal;
+  config.ack_length = proto.ack_length;
+  config.conversion = proto.conversion == "full"     ? ConversionMode::Full
+                      : proto.conversion == "sparse" ? ConversionMode::Sparse
+                                                     : ConversionMode::None;
+  config.converters.assign(proto.converters.begin(), proto.converters.end());
+  if (spec.faults.declared) config.faults = make_faults(spec.faults);
+  return config;
+}
+
+EngineConfig make_engine_config(const ScenarioSpec& spec) {
+  const EngineSpec& eng = spec.engine;
+  EngineConfig config;
+  config.protocol = make_protocol(spec);
+  config.traffic.process = eng.process == "mmpp"    ? ArrivalProcess::Mmpp
+                           : eng.process == "trace" ? ArrivalProcess::Trace
+                                                    : ArrivalProcess::Poisson;
+  config.traffic.rate = eng.rate;
+  config.traffic.mmpp_burst = eng.mmpp_burst;
+  config.traffic.mmpp_calm = eng.mmpp_calm;
+  config.traffic.mmpp_mean_dwell = eng.mmpp_mean_dwell;
+  config.traffic.trace = eng.trace;
+  config.mean_holding_time = eng.holding_time;
+  config.round_interval = eng.round_interval;
+  config.round_delta = static_cast<SimTime>(eng.round_delta);
+  config.max_setup_rounds = eng.max_setup_rounds;
+  config.arrivals = scaled_trials(static_cast<std::size_t>(eng.arrivals));
+  config.warmup = config.arrivals / eng.warmup_divisor;
+  config.fit = eng.fit == "random_fit" ? WavelengthFit::RandomFit
+                                       : WavelengthFit::FirstFit;
+  config.record = eng.record;
+  return config;
+}
+
+}  // namespace
+
+testlib::FuzzCase to_fuzz_case(const ScenarioSpec& spec) {
+  testlib::FuzzCase fuzz;
+  fuzz.seed = spec.case_seed;
+  fuzz.index = spec.case_index;
+  fuzz.node_count = spec.topology.nodes;
+  for (const auto& [u, v] : spec.topology.edges) fuzz.edges.emplace_back(u, v);
+  for (const auto& route : spec.paths.routes)
+    fuzz.paths.emplace_back(route.begin(), route.end());
+  fuzz.rule = spec.protocol.rule == "priority" ? ContentionRule::Priority
+                                               : ContentionRule::ServeFirst;
+  fuzz.tie = spec.protocol.tie == "first_wins" ? TiePolicy::FirstWins
+                                               : TiePolicy::KillAll;
+  fuzz.bandwidth = static_cast<std::uint16_t>(spec.protocol.bandwidth);
+  fuzz.conversion = spec.protocol.conversion == "full" ? ConversionMode::Full
+                    : spec.protocol.conversion == "sparse"
+                        ? ConversionMode::Sparse
+                        : ConversionMode::None;
+  fuzz.converters.assign(spec.protocol.converters.begin(),
+                         spec.protocol.converters.end());
+  if (spec.faults.declared) {
+    fuzz.has_faults = true;
+    fuzz.faults = make_faults(spec.faults);
+    fuzz.fault_seed = spec.faults.seed;
+    fuzz.fault_epoch = spec.faults.epoch;
+  }
+  for (const auto& [link, wavelength] : spec.pinned)
+    fuzz.pinned.push_back(
+        PinnedSlot{link, static_cast<Wavelength>(wavelength)});
+  for (const LaunchSpecLine& line : spec.launches) {
+    LaunchSpec launch;
+    launch.path = line.path;
+    launch.start_time = static_cast<SimTime>(line.start);
+    launch.wavelength = line.wavelength;
+    launch.priority = line.priority;
+    launch.length = line.length;
+    fuzz.specs.push_back(launch);
+  }
+  return fuzz;
+}
+
+bool run_scenario(const ScenarioSpec& spec, JsonValue& result,
+                  std::string& error) {
+  if (spec.mode == ScenarioMode::Pass) {
+    const testlib::FuzzCase fuzz = to_fuzz_case(spec);
+    if (!testlib::well_formed(fuzz, &error)) return false;
+    result = detail::run_pass(fuzz, spec.label);
+    return true;
+  }
+  if (spec.mode == ScenarioMode::Engine) {
+    result = detail::run_engine(build_graph(spec.topology),
+                                make_engine_config(spec), spec.seed,
+                                spec.label);
+    return true;
+  }
+  result = detail::run_closed(make_factory(spec), make_schedule(spec),
+                              make_protocol(spec),
+                              static_cast<std::size_t>(spec.trials),
+                              spec.seed, spec.label);
+  return true;
+}
+
+std::string result_text(const JsonValue& result) {
+  std::ostringstream os;
+  write_json(os, result, /*sorted_keys=*/true);
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace opto::dsl

@@ -1,0 +1,35 @@
+// AST → ScenarioSpec validation, and the one-call text loaders.
+//
+// Validation is where meaning lives: section/setting names, enum
+// spellings, numeric ranges, and mode compatibility are all checked
+// here, each failure reported as a DslError anchored at the offending
+// token (`file:line:col: message`). The golden diagnostic tests pin
+// these messages byte-for-byte, so treat message text as API.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "opto/dsl/ast.hpp"
+#include "opto/dsl/spec.hpp"
+
+namespace opto::dsl {
+
+/// Fixed-schedule / engine Δ range; the "out-of-range Δ" diagnostic.
+inline constexpr std::uint64_t kMaxDelta = 1u << 24;
+
+/// Validates a parsed program into a fully-materialized spec. On failure
+/// returns false with a source-located `error`.
+bool validate(const ScenarioAst& ast, ScenarioSpec& spec, DslError& error);
+
+/// Parses + validates `.opto` source in one step.
+bool load_opto_text(std::string_view source, const std::string& file,
+                    ScenarioSpec& spec, DslError& error);
+
+/// Loads either form: canonical JSON (first non-space byte '{') or
+/// `.opto` source. JSON errors carry no useful line/col (the JSON parser
+/// reports byte offsets in its message instead).
+bool load_scenario_text(std::string_view source, const std::string& file,
+                        ScenarioSpec& spec, DslError& error);
+
+}  // namespace opto::dsl

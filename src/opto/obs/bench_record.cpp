@@ -212,6 +212,12 @@ void write_registered_record() {
 }  // namespace
 
 void install_bench_record_at_exit(const std::string& label) {
+  // atexit hooks and static destructors unwind LIFO off one stack, so
+  // the obs registry (a function-local static) must be constructed —
+  // and its destructor registered — before our hook goes on, or a
+  // caller that installs before first touching obs reads destroyed
+  // maps at exit. Touching a snapshot here pins the order.
+  (void)annotations();
   std::lock_guard<std::mutex> lock(g_at_exit_mutex);
   const bool first = g_at_exit_label.empty();
   g_at_exit_label = label;

@@ -1,0 +1,132 @@
+// Canonical-form invariants of the scenario DSL:
+//  - every committed examples/*.opto dump matches its committed golden
+//    (byte-compare — the same check the scenario-smoke CI job runs),
+//  - parse -> canonical dump -> parse is a fixed point on the examples
+//    and on hundreds of generated programs,
+//  - the (seed, index) program generator is deterministic, and mutated
+//    programs always terminate in a clean parse or a diagnostic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opto/dsl/canonical.hpp"
+#include "opto/dsl/validate.hpp"
+#include "opto/testlib/dsl_gen.hpp"
+
+namespace opto::dsl {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::filesystem::path> committed_examples() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(OPTO_EXAMPLES_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".opto")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Parses `text`, dumps, reloads the dump, dumps again; returns the
+/// first dump after asserting both are identical.
+std::string require_fixed_point(const std::string& text,
+                                const std::string& name) {
+  ScenarioSpec spec;
+  DslError error;
+  EXPECT_TRUE(load_opto_text(text, name, spec, error))
+      << name << ": " << error.format();
+  const std::string dump = canonical_text(spec);
+  ScenarioSpec reloaded;
+  EXPECT_TRUE(load_scenario_text(dump, name + ".json", reloaded, error))
+      << name << ": dump does not reload: " << error.format();
+  EXPECT_EQ(canonical_text(reloaded), dump)
+      << name << ": parse -> dump -> parse is not a fixed point";
+  return dump;
+}
+
+TEST(DslCanonical, CommittedExamplesMatchTheirGoldens) {
+  const auto files = committed_examples();
+  ASSERT_GE(files.size(), 10u) << "examples/ lost committed scenarios";
+  for (const auto& file : files) {
+    const std::string name = file.filename().string();
+    const std::string dump = require_fixed_point(slurp(file.string()), name);
+    std::filesystem::path golden =
+        std::filesystem::path(OPTO_EXAMPLES_DIR) / "golden" /
+        file.stem().concat(".json");
+    ASSERT_TRUE(std::filesystem::exists(golden))
+        << name << " has no golden dump (regenerate with opto_run --dump)";
+    EXPECT_EQ(dump, slurp(golden.string()))
+        << name << " drifted from examples/golden/" << golden.filename();
+  }
+}
+
+TEST(DslCanonical, GeneratedProgramsAreValidFixedPoints) {
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::string program = testlib::generate_program(7, i);
+    require_fixed_point(program, "gen-" + std::to_string(i));
+    if (testing::Test::HasFailure()) {
+      ADD_FAILURE() << "failing program:\n" << program;
+      break;
+    }
+  }
+}
+
+TEST(DslCanonical, GeneratorIsPureInSeedAndIndex) {
+  EXPECT_EQ(testlib::generate_program(7, 3), testlib::generate_program(7, 3));
+  EXPECT_NE(testlib::generate_program(7, 3), testlib::generate_program(7, 4));
+  EXPECT_NE(testlib::generate_program(7, 3), testlib::generate_program(8, 3));
+  EXPECT_EQ(testlib::mutate_program(7, 3), testlib::mutate_program(7, 3));
+}
+
+TEST(DslCanonical, MutatedProgramsFailCleanlyOrRoundTrip) {
+  std::uint64_t accepted = 0, rejected = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::string mutant = testlib::mutate_program(7, i);
+    ScenarioSpec spec;
+    DslError error;
+    if (load_opto_text(mutant, "mut", spec, error)) {
+      ++accepted;
+      require_fixed_point(mutant, "mut-" + std::to_string(i));
+    } else {
+      ++rejected;
+      EXPECT_FALSE(error.message.empty())
+          << "rejection without a diagnostic for mutant " << i;
+    }
+    if (testing::Test::HasFailure()) {
+      ADD_FAILURE() << "failing mutant:\n" << mutant;
+      break;
+    }
+  }
+  // The mutator must actually break most programs or it tests nothing.
+  EXPECT_GT(rejected, accepted);
+}
+
+TEST(DslCanonical, JsonLoaderRejectsUnknownKeysAndWrongSchema) {
+  ScenarioSpec spec;
+  DslError error;
+  EXPECT_FALSE(load_scenario_text(R"({"schema":"opto.other","mode":"trials"})",
+                                  "doc", spec, error));
+  EXPECT_FALSE(load_scenario_text(
+      R"({"schema":"opto.scenario","schema_version":1,"mode":"trials",)"
+      R"("label":"x","name":"x","seed":"1","surprise":1,)"
+      R"("topology":{"family":"ring","nodes":4},)"
+      R"("paths":{"system":"bfs","workload":"permutation"}})",
+      "doc", spec, error));
+  EXPECT_NE(error.message.find("surprise"), std::string::npos)
+      << error.format();
+}
+
+}  // namespace
+}  // namespace opto::dsl

@@ -1,0 +1,82 @@
+// The DSL's end-to-end proof in tier-1: running each committed example
+// scenario through the DSL front-end produces model-result JSON
+// byte-identical to the hand-coded C++ builtin that mirrors the bench
+// binaries (src/opto/dsl/builtins.cpp). Runs at REPRO_SCALE=0.1 — the
+// same operating point as the scenario-smoke CI job.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "opto/dsl/runner.hpp"
+#include "opto/dsl/validate.hpp"
+
+namespace opto::dsl {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string run_example(const std::string& stem) {
+  const std::string path =
+      std::string(OPTO_EXAMPLES_DIR) + "/" + stem + ".opto";
+  ScenarioSpec spec;
+  DslError parse_error;
+  EXPECT_TRUE(load_opto_text(slurp(path), path, spec, parse_error))
+      << parse_error.format();
+  JsonValue result;
+  std::string error;
+  EXPECT_TRUE(run_scenario(spec, result, error)) << error;
+  return result_text(result);
+}
+
+std::string run_native(const std::string& name) {
+  JsonValue result;
+  std::string error;
+  EXPECT_TRUE(run_builtin(name, result, error)) << error;
+  return result_text(result);
+}
+
+class DslEquivalence : public testing::Test {
+ protected:
+  void SetUp() override { setenv("REPRO_SCALE", "0.1", /*overwrite=*/1); }
+  void TearDown() override { unsetenv("REPRO_SCALE"); }
+};
+
+TEST_F(DslEquivalence, E1LeveledUpperMatchesHandCodedPath) {
+  const std::string dsl = run_example("e1_leveled_upper");
+  EXPECT_EQ(dsl, run_native("e1-leveled-upper"));
+  EXPECT_NE(dsl.find("\"label\":\"e1-leveled-upper\""), std::string::npos);
+}
+
+TEST_F(DslEquivalence, E15FaultResilienceMatchesHandCodedPath) {
+  const std::string dsl = run_example("e15_fault_resilience");
+  EXPECT_EQ(dsl, run_native("e15-fault-resilience"));
+  // A 40% link-outage plan must actually lose worms to faults, or the
+  // byte-compare is vacuously matching two no-fault runs.
+  EXPECT_EQ(dsl.find("\"fault_losses\":{\"count\":0}"), std::string::npos);
+}
+
+TEST_F(DslEquivalence, E17StreamingEngineMatchesHandCodedPath) {
+  const std::string dsl = run_example("e17_streaming_engine");
+  EXPECT_EQ(dsl, run_native("e17-streaming-engine"));
+  EXPECT_NE(dsl.find("\"mode\":\"engine\""), std::string::npos);
+}
+
+TEST_F(DslEquivalence, BuiltinNamesStayWiredToCommittedExamples) {
+  const auto names = builtin_names();
+  ASSERT_EQ(names.size(), 3u);
+  JsonValue result;
+  std::string error;
+  EXPECT_FALSE(run_builtin("no-such-scenario", result, error));
+  EXPECT_NE(error.find("no-such-scenario"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opto::dsl

@@ -1,0 +1,95 @@
+// Golden-file diagnostics: every malformed program in tests/dsl_bad/
+// must be rejected with the exact file:line:col + message committed in
+// its sibling .expected file. Pinning the bytes (not just "an error")
+// keeps source locations honest — an off-by-one in the lexer's column
+// tracking or a reworded message shows up as a named diff here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opto/dsl/validate.hpp"
+
+namespace opto::dsl {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string rstrip(std::string text) {
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+    text.pop_back();
+  return text;
+}
+
+std::vector<std::filesystem::path> bad_programs() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(OPTO_DSL_BAD_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".opto")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(DslParser, EveryBadProgramMatchesItsGoldenDiagnostic) {
+  const auto files = bad_programs();
+  ASSERT_GE(files.size(), 12u) << "tests/dsl_bad/ must keep >= 12 cases";
+  for (const auto& file : files) {
+    const std::string name = file.filename().string();
+    std::filesystem::path expected_path = file;
+    expected_path.replace_extension(".expected");
+    ASSERT_TRUE(std::filesystem::exists(expected_path))
+        << name << " has no .expected golden";
+    const std::string expected = rstrip(slurp(expected_path.string()));
+
+    ScenarioSpec spec;
+    DslError error;
+    ASSERT_FALSE(load_opto_text(slurp(file.string()), name, spec, error))
+        << name << " parsed cleanly but is a committed bad program";
+    EXPECT_EQ(error.format(), expected) << "diagnostic drifted for " << name;
+  }
+}
+
+TEST(DslParser, DiagnosticsCarrySourceLocations) {
+  for (const auto& file : bad_programs()) {
+    const std::string name = file.filename().string();
+    ScenarioSpec spec;
+    DslError error;
+    ASSERT_FALSE(load_opto_text(slurp(file.string()), name, spec, error));
+    EXPECT_GE(error.loc.line, 1u) << name;
+    EXPECT_GE(error.loc.col, 1u) << name;
+    EXPECT_FALSE(error.message.empty()) << name;
+    // format() is "file:line:col: message".
+    EXPECT_EQ(error.format().rfind(name + ":", 0), 0u) << error.format();
+  }
+}
+
+TEST(DslParser, ValidProgramReportsNoError) {
+  const std::string program =
+      "scenario \"ok\" {\n"
+      "  mode trials;\n"
+      "  topology ring { nodes 8; }\n"
+      "  paths bfs { workload permutation; }\n"
+      "}\n";
+  ScenarioSpec spec;
+  DslError error;
+  ASSERT_TRUE(load_opto_text(program, "ok.opto", spec, error))
+      << error.format();
+  EXPECT_EQ(spec.mode, ScenarioMode::Trials);
+  EXPECT_EQ(spec.topology.family, "ring");
+  EXPECT_EQ(spec.topology.nodes, 8u);
+  EXPECT_EQ(spec.label, "ok");  // defaults to the slugified name
+}
+
+}  // namespace
+}  // namespace opto::dsl

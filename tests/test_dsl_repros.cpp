@@ -1,0 +1,110 @@
+// Every examples/repros/*.opto is a corpus anchor in scenario clothing:
+// its pass-mode spec must map to a FuzzCase whose canonical JSON
+// byte-equals the committed tests/corpus/<same-stem>.json, and running
+// it must reproduce the same engine outcome the corpus replay pins
+// (clean differential verdict + identical pass metrics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opto/dsl/runner.hpp"
+#include "opto/dsl/validate.hpp"
+#include "opto/testlib/differ.hpp"
+#include "opto/testlib/fuzz_case.hpp"
+
+namespace opto::dsl {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::filesystem::path> repro_scenarios() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(OPTO_EXAMPLES_DIR) + "/repros")) {
+    if (entry.is_regular_file() && entry.path().extension() == ".opto")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(DslRepros, EveryCorpusAnchorHasAScenarioTwin) {
+  std::vector<std::string> corpus_stems;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(OPTO_CORPUS_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json")
+      corpus_stems.push_back(entry.path().stem().string());
+  }
+  ASSERT_FALSE(corpus_stems.empty());
+  for (const std::string& stem : corpus_stems) {
+    EXPECT_TRUE(std::filesystem::exists(std::string(OPTO_EXAMPLES_DIR) +
+                                        "/repros/" + stem + ".opto"))
+        << "corpus anchor " << stem << ".json has no examples/repros twin";
+  }
+}
+
+TEST(DslRepros, ScenarioTwinsByteMatchTheirCorpusAnchors) {
+  const auto files = repro_scenarios();
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    const std::string stem = file.stem().string();
+    const std::string corpus_path =
+        std::string(OPTO_CORPUS_DIR) + "/" + stem + ".json";
+    ASSERT_TRUE(std::filesystem::exists(corpus_path))
+        << file << " has no corpus anchor";
+
+    ScenarioSpec spec;
+    DslError error;
+    ASSERT_TRUE(load_opto_text(slurp(file.string()), stem, spec, error))
+        << error.format();
+    ASSERT_EQ(spec.mode, ScenarioMode::Pass) << stem;
+    EXPECT_EQ(testlib::canonical_json(to_fuzz_case(spec)),
+              slurp(corpus_path))
+        << stem << ".opto no longer maps to its corpus anchor bytes";
+  }
+}
+
+TEST(DslRepros, ScenarioTwinsReproduceTheAnchoredOutcome) {
+  for (const auto& file : repro_scenarios()) {
+    const std::string stem = file.stem().string();
+    ScenarioSpec spec;
+    DslError error;
+    ASSERT_TRUE(load_opto_text(slurp(file.string()), stem, spec, error))
+        << error.format();
+
+    // Same differential verdict and metrics as replaying the JSON case.
+    const testlib::FuzzCase from_dsl = to_fuzz_case(spec);
+    const auto from_json = testlib::parse_case(
+        slurp(std::string(OPTO_CORPUS_DIR) + "/" + stem + ".json"));
+    ASSERT_TRUE(from_json.has_value()) << stem;
+    const testlib::DiffReport dsl_report = testlib::diff_case(from_dsl);
+    const testlib::DiffReport json_report = testlib::diff_case(*from_json);
+    EXPECT_TRUE(dsl_report.ok()) << stem << "\n" << dsl_report.summary();
+    EXPECT_EQ(dsl_report.metrics.delivered, json_report.metrics.delivered)
+        << stem;
+    EXPECT_EQ(dsl_report.metrics.killed, json_report.metrics.killed) << stem;
+    EXPECT_EQ(dsl_report.metrics.truncated_arrivals,
+              json_report.metrics.truncated_arrivals)
+        << stem;
+
+    // And the scenario runner itself executes the pass.
+    JsonValue result;
+    std::string run_error;
+    ASSERT_TRUE(run_scenario(spec, result, run_error)) << run_error;
+    EXPECT_NE(result_text(result).find("\"mode\":\"pass\""),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace opto::dsl

@@ -5,6 +5,10 @@
 //   --replay-dir DIR   re-run every *.json case in DIR (the corpus)
 //   --dump INDEX       print case INDEX of the seed's stream as canonical
 //                      JSON (used by the cross-process determinism test)
+//   --dsl              fuzz the scenario grammar: --cases generated
+//                      programs must parse + canonical-round-trip, and
+//                      the same count of mutated programs must fail with
+//                      diagnostics instead of crashing
 //   --distill KIND     search the stream for a case exhibiting KIND
 //                      (kill | truncate | retune | fault | corrupt | components),
 //                      shrink it while preserving the behavior, write it
@@ -27,7 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "opto/dsl/canonical.hpp"
+#include "opto/dsl/validate.hpp"
 #include "opto/testlib/differ.hpp"
+#include "opto/testlib/dsl_gen.hpp"
 #include "opto/testlib/fuzz_case.hpp"
 #include "opto/testlib/generator.hpp"
 #include "opto/testlib/shrink.hpp"
@@ -230,6 +237,93 @@ std::string sanitize_component(std::string text) {
   return text;
 }
 
+/// Grammar fuzzing (--dsl): per case, one *generated* program that must
+/// parse, validate, and canonical-dump to a fixed point, plus one
+/// *mutated* program that must terminate in either a clean parse (then
+/// also a fixed point) or a file:line:col diagnostic — never a crash,
+/// hang, or leak (the sanitizer legs enforce the last part).
+int dsl_fuzz(std::uint64_t seed, std::uint64_t cases, const std::string& out,
+             long long progress_every, bool quiet) {
+  std::uint64_t mutants_accepted = 0, mutants_rejected = 0, failures = 0;
+
+  const auto save_repro = [&](std::uint64_t index, const std::string& text,
+                              const std::string& why) {
+    ++failures;
+    const std::string path = out + "/dsl_repro_seed" + std::to_string(seed) +
+                             "_case" + std::to_string(index) + ".opto";
+    std::printf("DSL FAILURE at seed %" PRIu64 " case %" PRIu64 ": %s\n",
+                seed, index, why.c_str());
+    if (!write_file(path, text))
+      std::fprintf(stderr, "opto_fuzz: cannot write %s\n", path.c_str());
+    else
+      std::printf("  program saved -> %s\n", path.c_str());
+  };
+
+  /// Dump → reload the dump as canonical JSON → dump again; both dumps
+  /// must be byte-identical. Returns false (with `why`) on any step.
+  const auto fixed_point = [](const opto::dsl::ScenarioSpec& spec,
+                              std::string& why) {
+    const std::string dump = opto::dsl::canonical_text(spec);
+    opto::dsl::ScenarioSpec reloaded;
+    opto::dsl::DslError error;
+    if (!opto::dsl::load_scenario_text(dump, "<dump>", reloaded, error)) {
+      why = "canonical dump does not reload: " + error.format();
+      return false;
+    }
+    if (opto::dsl::canonical_text(reloaded) != dump) {
+      why = "parse -> dump -> parse is not a fixed point";
+      return false;
+    }
+    return true;
+  };
+
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const std::string program = opto::testlib::generate_program(seed, i);
+    opto::dsl::ScenarioSpec spec;
+    opto::dsl::DslError error;
+    std::string why;
+    if (!opto::dsl::load_opto_text(program, "<generated>", spec, error)) {
+      save_repro(i, program, "generated program rejected: " + error.format());
+    } else if (!fixed_point(spec, why)) {
+      save_repro(i, program, why);
+    }
+
+    const std::string mutant = opto::testlib::mutate_program(seed, i);
+    opto::dsl::ScenarioSpec mutated;
+    opto::dsl::DslError mutant_error;
+    if (opto::dsl::load_opto_text(mutant, "<mutated>", mutated,
+                                  mutant_error)) {
+      ++mutants_accepted;
+      if (!fixed_point(mutated, why))
+        save_repro(i, mutant, "mutated program parsed but " + why);
+    } else {
+      ++mutants_rejected;
+      if (mutant_error.message.empty())
+        save_repro(i, mutant, "rejection carried an empty diagnostic");
+    }
+
+    if (progress_every > 0 &&
+        (i + 1) % static_cast<std::uint64_t>(progress_every) == 0)
+      std::printf("... %" PRIu64 "/%" PRIu64 " programs, %" PRIu64
+                  " failure(s)\n",
+                  i + 1, cases, failures);
+  }
+
+  if (!quiet)
+    std::printf("dsl coverage: %" PRIu64 " generated (all must be valid) | "
+                "%" PRIu64 " mutants accepted | %" PRIu64
+                " mutants rejected with diagnostics\n",
+                cases, mutants_accepted, mutants_rejected);
+  if (failures > 0) {
+    std::printf("%" PRIu64 " DSL failure(s) found\n", failures);
+    return 1;
+  }
+  if (!quiet)
+    std::printf("dsl clean: %" PRIu64 " case(s), seed %" PRIu64 "\n", cases,
+                seed);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +341,9 @@ int main(int argc, char** argv) {
       cli.add_string("replay-dir", "", "re-run every *.json case in a dir");
   const long long* dump = cli.add_int(
       "dump", -1, "print case INDEX of the stream as canonical JSON");
+  const bool* dsl = cli.add_flag(
+      "dsl", "fuzz the scenario grammar instead of the simulator: generated "
+             "programs must round-trip, mutated ones must fail cleanly");
   const std::string* distill = cli.add_string(
       "distill", "",
       "find + shrink a clean case showing a behavior: kill | truncate | "
@@ -304,6 +401,10 @@ int main(int argc, char** argv) {
 
   std::error_code ec;
   std::filesystem::create_directories(*out, ec);  // best-effort; write checks
+
+  if (*dsl)
+    return dsl_fuzz(*seed, static_cast<std::uint64_t>(std::max(0LL, *cases)),
+                    *out, *progress_every, *quiet);
 
   if (!distill->empty()) {
     const auto predicate = behavior_predicate(*distill);
