@@ -54,27 +54,49 @@ echo "== perf suite: OPTO_SIMD=${OPTO_SIMD:-unset (no cap)} =="
 
 # Representative slice of the suite: a mesh workload (e7), a butterfly
 # workload (e8), the fault-injection path (e15), the streaming traffic
-# engine (e17), the schedule ablation (a1), and the engine
-# micro-benchmarks. Broad enough to notice a regression in any
-# subsystem, small enough for a CI smoke job.
+# engine (e17), the RWA strategy zoo head-to-head (e19), the schedule
+# ablation (a1), and the engine micro-benchmarks. Broad enough to notice
+# a regression in any subsystem, small enough for a CI smoke job.
 BENCHES=(
   bench_e7_mesh
   bench_e8_butterfly_qfn
   bench_e15_fault_resilience
   bench_e17_streaming_engine
+  bench_e19_strategy_zoo
   bench_a1_delta_schedule
 )
 
+shopt -s nullglob
+count_records() {
+  local files=("$RECORDS"/benchrecord_*.json)
+  echo "${#files[@]}"
+}
+
 for bench in "${BENCHES[@]}"; do
   echo "== $bench (REPRO_SCALE=$SCALE) =="
+  before="$(count_records)"
   "$BUILD/bench/$bench" > "$RECORDS/$bench.txt"
+  after="$(count_records)"
+  # A bench that exits 0 without writing its BenchRecord would roll up
+  # as a silent success; every bench must leave exactly its record.
+  if [ "$after" -le "$before" ]; then
+    echo "$bench produced no benchrecord_*.json (had $before, still" \
+         "$after) — the bench ran but recorded nothing" >&2
+    exit 1
+  fi
 done
 
 echo "== bench_perf_simulator =="
+before="$(count_records)"
 REPRO_SCALE= "$BUILD/bench/bench_perf_simulator" --benchmark_min_time=0.1 \
   > "$RECORDS/bench_perf_simulator.txt"
+after="$(count_records)"
+if [ "$after" -le "$before" ]; then
+  echo "bench_perf_simulator produced no benchrecord_*.json — the bench" \
+       "ran but recorded nothing" >&2
+  exit 1
+fi
 
-shopt -s nullglob
 record_files=("$RECORDS"/benchrecord_*.json)
 if [ "${#record_files[@]}" -eq 0 ]; then
   echo "no benchrecord_*.json produced — was the build compiled with" \

@@ -5,8 +5,9 @@
 #     byte-compares the dump against examples/golden/<stem>.json — any
 #     grammar, validator, or canonical-writer drift fails here with a
 #     named diff.
-#  2. Runs the three equivalence scenarios (E1 leveled-upper, E15 fault
-#     plan, E17 streaming engine) at REPRO_SCALE=0.1 through BOTH the
+#  2. Runs the four equivalence scenarios (E1 leveled-upper, E15 fault
+#     plan, E17 streaming engine, E19 strategy zoo) at REPRO_SCALE=0.1
+#     through BOTH the
 #     DSL front-end (opto_run --run) and the hand-coded C++ path
 #     (opto_run --builtin), byte-compares the model-result JSON, and
 #     diffs the captured BenchRecords with bench_compare --warn-only
@@ -55,7 +56,8 @@ echo "$count scenarios match their goldens"
 
 echo "== DSL vs hand-coded equivalence (REPRO_SCALE=0.1) =="
 export REPRO_SCALE=0.1
-for stem in e1_leveled_upper e15_fault_resilience e17_streaming_engine; do
+for stem in e1_leveled_upper e15_fault_resilience e17_streaming_engine \
+            e19_strategy_zoo; do
   name="${stem//_/-}"
   mkdir -p "$OUT/$name/dsl" "$OUT/$name/native"
   OPTO_RESULTS_DIR="$OUT/$name/dsl" \

@@ -15,6 +15,7 @@
 #include "opto/dsl/run_core.hpp"
 #include "opto/dsl/runner.hpp"
 #include "opto/graph/butterfly.hpp"
+#include "opto/graph/fattree.hpp"
 #include "opto/graph/ring.hpp"
 #include "opto/paths/butterfly_paths.hpp"
 #include "opto/paths/workloads.hpp"
@@ -77,10 +78,37 @@ JsonValue builtin_e17() {
                             "e17-streaming-engine");
 }
 
+/// E19's committed operating point: Least-Used over k=3 shortest-path
+/// candidates on a radix-4 fat tree, permutation workload, B=2, L=4
+/// (one cell of bench_e19_strategy_zoo's head-to-head grid; the tight
+/// band keeps round-1 blocking non-zero).
+JsonValue builtin_e19() {
+  std::shared_ptr<const Graph> graph =
+      std::make_shared<Graph>(std::move(make_fat_tree(4).graph));
+  const rwa::InstanceFactory factory = [graph](std::uint64_t seed) {
+    Rng rng(seed);
+    const auto perm = random_permutation(
+        static_cast<std::uint32_t>(graph->node_count()), rng);
+    std::vector<rwa::RwaRequest> requests;
+    requests.reserve(perm.size());
+    for (std::uint32_t i = 0; i < perm.size(); ++i)
+      requests.push_back(rwa::RwaRequest{i, perm[i]});
+    return std::make_pair(graph, std::move(requests));
+  };
+  rwa::StrategyScheduleConfig config;
+  config.rwa.bandwidth = 2;
+  config.rwa.candidates = 3;
+  config.worm_length = 4;
+  config.max_rounds = 64;
+  return detail::run_strategy_closed(factory, rwa::StrategyKind::LeastUsed,
+                                     config, 30, 19, "e19-strategy-zoo");
+}
+
 }  // namespace
 
 std::vector<std::string> builtin_names() {
-  return {"e1-leveled-upper", "e15-fault-resilience", "e17-streaming-engine"};
+  return {"e1-leveled-upper", "e15-fault-resilience", "e17-streaming-engine",
+          "e19-strategy-zoo"};
 }
 
 bool run_builtin(const std::string& name, JsonValue& result,
@@ -95,6 +123,10 @@ bool run_builtin(const std::string& name, JsonValue& result,
   }
   if (name == "e17-streaming-engine") {
     result = builtin_e17();
+    return true;
+  }
+  if (name == "e19-strategy-zoo") {
+    result = builtin_e19();
     return true;
   }
   error = "unknown builtin '" + name + "'";

@@ -34,6 +34,11 @@ JsonValue topology_json(const TopologySpec& topo) {
   if (topo.family == "ring" || topo.family == "complete" ||
       topo.family == "explicit")
     out.add_member("nodes", num(topo.nodes));
+  if (topo.family == "fattree") out.add_member("radix", num(topo.radix));
+  if (topo.family == "bcube") {
+    out.add_member("ports", num(topo.ports));
+    out.add_member("levels", num(topo.levels));
+  }
   if (topo.family == "explicit") {
     JsonValue edges = JsonValue::make_array();
     for (const auto& [u, v] : topo.edges) edges.items.push_back(tuple2(u, v));
@@ -75,6 +80,14 @@ JsonValue protocol_json(const ProtocolSpec& proto) {
       flags.items.push_back(num(flag));
     out.add_member("converters", std::move(flags));
   }
+  return out;
+}
+
+JsonValue strategy_json(const StrategySpec& strat) {
+  JsonValue out = JsonValue::make_object();
+  out.add_member("kind", JsonValue::of(strat.kind));
+  out.add_member("k", num(strat.candidates));
+  if (strat.kind == "multipath") out.add_member("split", num(strat.split_ways));
   return out;
 }
 
@@ -174,6 +187,8 @@ JsonValue to_canonical_json(const ScenarioSpec& spec) {
   if (spec.mode == ScenarioMode::Trials) {
     root.add_member("trials", num(spec.trials));
     root.add_member("schedule", schedule_json(spec.schedule));
+    if (spec.strategy.declared)
+      root.add_member("strategy", strategy_json(spec.strategy));
   }
   if (spec.mode != ScenarioMode::Engine)
     root.add_member("paths", paths_json(spec.paths));
@@ -244,6 +259,10 @@ class JsonLoader {
         if (spec_.mode != ScenarioMode::Trials)
           return fail("'schedule' is only valid in trials mode");
         if (!schedule(value)) return false;
+      } else if (key == "strategy") {
+        if (spec_.mode != ScenarioMode::Trials)
+          return fail("'strategy' is only valid in trials mode");
+        if (!strategy(value)) return false;
       } else if (key == "faults") {
         if (!faults(value)) return false;
       } else if (key == "engine") {
@@ -355,6 +374,7 @@ class JsonLoader {
     if (topo.family != "butterfly" && topo.family != "mesh" &&
         topo.family != "ring" && topo.family != "hypercube" &&
         topo.family != "complete" && topo.family != "single_link" &&
+        topo.family != "fattree" && topo.family != "bcube" &&
         topo.family != "explicit")
       return fail("unknown topology family '" + topo.family + "'");
     for (const auto& [key, value] : object.members) {
@@ -372,6 +392,14 @@ class JsonLoader {
         if (!read_u32(value, "nodes", topo.family == "ring" ? 3 : 2,
                       std::uint64_t{1} << 16, topo.nodes))
           return false;
+      } else if (key == "radix" && topo.family == "fattree") {
+        if (!read_u32(value, "radix", 2, 32, topo.radix)) return false;
+        if (topo.radix % 2 != 0)
+          return fail("fat-tree radix must be even");
+      } else if (key == "ports" && topo.family == "bcube") {
+        if (!read_u32(value, "ports", 2, 16, topo.ports)) return false;
+      } else if (key == "levels" && topo.family == "bcube") {
+        if (!read_u32(value, "levels", 1, 8, topo.levels)) return false;
       } else if (key == "edges" && topo.family == "explicit") {
         // Sorted keys put "edges" before "nodes"; defer the range check
         // until the whole object is read.
@@ -388,6 +416,10 @@ class JsonLoader {
     if ((topo.family == "ring" || topo.family == "complete" ||
          topo.family == "explicit") && topo.nodes == 0)
       return fail("missing 'nodes' in topology");
+    if (topo.family == "fattree" && topo.radix == 0)
+      return fail("missing 'radix' in topology");
+    if (topo.family == "bcube" && (topo.ports == 0 || topo.levels == 0))
+      return fail("missing 'ports' or 'levels' in topology");
     if (edges_value != nullptr) {
       std::vector<std::vector<std::uint64_t>> tuples;
       if (!read_tuples(*edges_value, "edges", 2, tuples)) return false;
@@ -516,6 +548,28 @@ class JsonLoader {
           return false;
       } else {
         return fail("unknown key '" + key + "' in schedule");
+      }
+    }
+    return true;
+  }
+
+  bool strategy(const JsonValue& object) {
+    StrategySpec& strat = spec_.strategy;
+    strat.declared = true;
+    if (!object.is_object()) return fail("'strategy' must be an object");
+    strat.kind = object.string_at("kind");
+    if (strat.kind != "first_fit" && strat.kind != "least_used" &&
+        strat.kind != "random_fit" && strat.kind != "multipath" &&
+        strat.kind != "valiant")
+      return fail("unknown strategy kind '" + strat.kind + "'");
+    for (const auto& [key, value] : object.members) {
+      if (key == "kind") continue;
+      if (key == "k") {
+        if (!read_u32(value, "k", 1, 16, strat.candidates)) return false;
+      } else if (key == "split" && strat.kind == "multipath") {
+        if (!read_u32(value, "split", 1, 8, strat.split_ways)) return false;
+      } else {
+        return fail("unknown key '" + key + "' in strategy");
       }
     }
     return true;

@@ -76,6 +76,38 @@ JsonValue run_closed(const CollectionFactory& factory,
   return root;
 }
 
+JsonValue run_strategy_closed(const rwa::InstanceFactory& factory,
+                              rwa::StrategyKind kind,
+                              const rwa::StrategyScheduleConfig& config,
+                              std::size_t base_trials, std::uint64_t seed,
+                              const std::string& label) {
+  const std::size_t trials = scaled_trials(base_trials);
+  const rwa::StrategyAggregate aggregate =
+      rwa::run_strategy_trials(factory, kind, config, trials, seed);
+
+  obs::annotate("scenario", label);
+  obs::annotate("strategy", rwa::to_string(kind));
+  obs::set_metric("success_rate", aggregate.success_rate());
+  obs::set_metric("failures", static_cast<double>(aggregate.failures));
+  if (aggregate.blocking.count() > 0)
+    obs::set_metric("blocking_mean", aggregate.blocking.mean());
+  if (aggregate.rounds.count() > 0)
+    obs::set_metric("rounds_mean", aggregate.rounds.mean());
+  if (aggregate.makespan.count() > 0)
+    obs::set_metric("makespan_mean", aggregate.makespan.mean());
+
+  JsonValue root = result_root(label, "trials", seed);
+  root.add_member("strategy", JsonValue::of(rwa::to_string(kind)));
+  root.add_member("trials", num(aggregate.trials));
+  root.add_member("failures", num(aggregate.failures));
+  root.add_member("success_rate", JsonValue::of(aggregate.success_rate()));
+  root.add_member("blocking", sample_json(aggregate.blocking));
+  root.add_member("rounds", sample_json(aggregate.rounds));
+  root.add_member("makespan", sample_json(aggregate.makespan));
+  root.add_member("colors", sample_json(aggregate.colors));
+  return root;
+}
+
 JsonValue run_engine(std::shared_ptr<const Graph> graph,
                      const EngineConfig& config, std::uint64_t seed,
                      const std::string& label) {

@@ -19,6 +19,7 @@
 
 #include "opto/benchsupport/experiment.hpp"
 #include "opto/engine/engine.hpp"
+#include "opto/rwa/schedule.hpp"
 #include "opto/testlib/fuzz_case.hpp"
 #include "opto/util/json_parse.hpp"
 
@@ -31,6 +32,15 @@ JsonValue run_closed(const CollectionFactory& factory,
                      const ScheduleFactory& schedule_factory,
                      const ProtocolConfig& config, std::size_t base_trials,
                      std::uint64_t seed, const std::string& label);
+
+/// Closed experiment over a static RWA strategy instead of the
+/// Trial-and-Failure protocol (rwa/schedule.hpp round driver, same
+/// per-trial seed derivation as run_closed).
+JsonValue run_strategy_closed(const rwa::InstanceFactory& factory,
+                              rwa::StrategyKind kind,
+                              const rwa::StrategyScheduleConfig& config,
+                              std::size_t base_trials, std::uint64_t seed,
+                              const std::string& label);
 
 /// Streaming engine run; `config.arrivals`/`warmup` must already be
 /// scaled by the caller (both front-ends call scaled_trials the same

@@ -11,14 +11,17 @@
 #include <utility>
 
 #include "opto/dsl/run_core.hpp"
+#include "opto/graph/bcube.hpp"
 #include "opto/graph/butterfly.hpp"
 #include "opto/graph/complete.hpp"
+#include "opto/graph/fattree.hpp"
 #include "opto/graph/hypercube.hpp"
 #include "opto/graph/mesh.hpp"
 #include "opto/graph/ring.hpp"
 #include "opto/paths/bfs_shortest.hpp"
 #include "opto/paths/butterfly_paths.hpp"
 #include "opto/paths/workloads.hpp"
+#include "opto/rwa/schedule.hpp"
 
 namespace opto::dsl {
 
@@ -41,6 +44,12 @@ std::shared_ptr<const Graph> build_graph(const TopologySpec& topo) {
     graph->add_edge(0, 1);
     return graph;
   }
+  if (topo.family == "fattree")
+    return std::make_shared<Graph>(
+        std::move(make_fat_tree(topo.radix).graph));
+  if (topo.family == "bcube")
+    return std::make_shared<Graph>(
+        std::move(make_bcube(topo.ports, topo.levels).graph));
   auto graph = std::make_shared<Graph>(topo.nodes, "explicit");
   for (const auto& [u, v] : topo.edges) graph->add_edge(u, v);
   return graph;
@@ -101,6 +110,25 @@ CollectionFactory make_factory(const ScenarioSpec& spec) {
     Rng rng(seed);
     return workload == "permutation" ? bfs_random_permutation(graph, rng)
                                      : bfs_random_function(graph, rng);
+  };
+}
+
+/// Strategy-mode instance factory: the graph is fixed, the request list
+/// redraws per trial from the declared workload with the same Rng
+/// sequence the bfs path factory uses — trial t of a strategy run and
+/// trial t of a Trial-and-Failure run see the same request multiset.
+rwa::InstanceFactory make_instance_factory(const ScenarioSpec& spec) {
+  auto graph = build_graph(spec.topology);
+  const std::string workload = spec.paths.workload;
+  return [graph, workload](std::uint64_t seed) {
+    Rng rng(seed);
+    const auto pairs = workload_requests(
+        workload, static_cast<std::uint32_t>(graph->node_count()), rng);
+    std::vector<rwa::RwaRequest> requests;
+    requests.reserve(pairs.size());
+    for (const auto& [source, destination] : pairs)
+      requests.push_back(rwa::RwaRequest{source, destination});
+    return std::make_pair(graph, std::move(requests));
   };
 }
 
@@ -243,6 +271,23 @@ bool run_scenario(const ScenarioSpec& spec, JsonValue& result,
     result = detail::run_engine(build_graph(spec.topology),
                                 make_engine_config(spec), spec.seed,
                                 spec.label);
+    return true;
+  }
+  if (spec.strategy.declared) {
+    const auto kind = rwa::parse_strategy_kind(spec.strategy.kind);
+    if (!kind) {
+      error = "unknown strategy kind '" + spec.strategy.kind + "'";
+      return false;
+    }
+    rwa::StrategyScheduleConfig config;
+    config.rwa.bandwidth = static_cast<std::uint16_t>(spec.protocol.bandwidth);
+    config.rwa.candidates = spec.strategy.candidates;
+    config.rwa.split_ways = spec.strategy.split_ways;
+    config.worm_length = spec.protocol.worm_length;
+    config.max_rounds = spec.protocol.max_rounds;
+    result = detail::run_strategy_closed(
+        make_instance_factory(spec), *kind, config,
+        static_cast<std::size_t>(spec.trials), spec.seed, spec.label);
     return true;
   }
   result = detail::run_closed(make_factory(spec), make_schedule(spec),

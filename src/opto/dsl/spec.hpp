@@ -34,10 +34,13 @@ const char* to_string(ScenarioMode mode);
 /// family are meaningful; the rest stay at their defaults.
 struct TopologySpec {
   std::string family;  ///< butterfly | mesh | ring | hypercube | complete |
-                       ///< single_link | explicit
+                       ///< single_link | fattree | bcube | explicit
   std::uint32_t dim = 0;    ///< butterfly, hypercube
   std::uint32_t side = 0;   ///< mesh (square)
   std::uint32_t nodes = 0;  ///< ring, complete, explicit
+  std::uint32_t radix = 0;  ///< fattree (even k)
+  std::uint32_t ports = 0;  ///< bcube (n)
+  std::uint32_t levels = 0;  ///< bcube
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;  ///< explicit
 };
 
@@ -60,6 +63,17 @@ struct ProtocolSpec {
   std::uint32_t ack_length = 1;
   std::string conversion = "none";    ///< none | full | sparse
   std::vector<std::uint32_t> converters;  ///< 0/1 per node, sparse only
+};
+
+/// RWA strategy block (trials mode): replaces the Trial-and-Failure
+/// protocol with a static strategy round driver (rwa/schedule.hpp).
+/// Bandwidth, worm length, and round cap come from the protocol block.
+struct StrategySpec {
+  bool declared = false;  ///< a `strategy <kind> { … }` section was present
+  std::string kind;       ///< first_fit | least_used | random_fit |
+                          ///< multipath | valiant
+  std::uint32_t candidates = 3;  ///< k candidate routes per request
+  std::uint32_t split_ways = 2;  ///< multipath stripe width
 };
 
 /// Δ-schedule for the trials mode.
@@ -123,6 +137,7 @@ struct ScenarioSpec {
   TopologySpec topology;
   PathsSpec paths;
   ProtocolSpec protocol;
+  StrategySpec strategy;
   ScheduleSpec schedule;
   FaultSpec faults;
   EngineSpec engine;

@@ -62,6 +62,18 @@ std::uint64_t topology_nodes(const TopologySpec& topo) {
     return static_cast<std::uint64_t>(topo.side) * topo.side;
   if (topo.family == "hypercube") return std::uint64_t{1} << topo.dim;
   if (topo.family == "single_link") return 2;
+  if (topo.family == "fattree") {
+    const std::uint64_t half = topo.radix / 2;
+    // cores + (agg + edge per pod) + hosts
+    return half * half + static_cast<std::uint64_t>(topo.radix) * topo.radix +
+           half * half * topo.radix;
+  }
+  if (topo.family == "bcube") {
+    std::uint64_t servers = 1;
+    for (std::uint32_t l = 0; l < topo.levels; ++l) servers *= topo.ports;
+    return servers + static_cast<std::uint64_t>(topo.levels) *
+                         (servers / topo.ports);
+  }
   return topo.nodes;  // ring, complete, explicit
 }
 
@@ -264,6 +276,7 @@ class Validator {
     if (section.keyword == "topology") return topology(section);
     if (section.keyword == "paths") return paths(section);
     if (section.keyword == "protocol") return protocol(section);
+    if (section.keyword == "strategy") return strategy(section);
     if (section.keyword == "schedule") return schedule(section);
     if (section.keyword == "faults") return faults(section);
     if (section.keyword == "engine") return engine(section);
@@ -288,8 +301,23 @@ class Validator {
     topo.family = section.variant;
     const std::string scope = "topology " + topo.family;
     bool saw_dim = false, saw_side = false, saw_nodes = false,
-         saw_edges = false;
+         saw_edges = false, saw_radix = false, saw_ports = false,
+         saw_levels = false;
+    SourceLoc radix_loc;
     const auto handler = [&](const Setting& s) {
+      if (s.key == "radix" && topo.family == "fattree") {
+        saw_radix = true;
+        radix_loc = s.value.loc;
+        return get_u32(s, 2, 32, topo.radix) ? 1 : -1;
+      }
+      if (s.key == "ports" && topo.family == "bcube") {
+        saw_ports = true;
+        return get_u32(s, 2, 16, topo.ports) ? 1 : -1;
+      }
+      if (s.key == "levels" && topo.family == "bcube") {
+        saw_levels = true;
+        return get_u32(s, 1, 8, topo.levels) ? 1 : -1;
+      }
       if (s.key == "dim" &&
           (topo.family == "butterfly" || topo.family == "hypercube")) {
         saw_dim = true;
@@ -322,6 +350,7 @@ class Validator {
     if (topo.family == "butterfly" || topo.family == "mesh" ||
         topo.family == "ring" || topo.family == "hypercube" ||
         topo.family == "complete" || topo.family == "single_link" ||
+        topo.family == "fattree" || topo.family == "bcube" ||
         topo.family == "explicit") {
       if (!walk(section.settings, scope, handler)) return false;
     } else {
@@ -339,6 +368,27 @@ class Validator {
          topo.family == "explicit") && !saw_nodes)
       return fail(section.loc,
                   "missing required setting 'nodes' in " + scope);
+    if (topo.family == "fattree") {
+      if (!saw_radix)
+        return fail(section.loc,
+                    "missing required setting 'radix' in " + scope);
+      if (topo.radix % 2 != 0)
+        return fail(radix_loc, "fat-tree radix must be even, got " +
+                                   std::to_string(topo.radix));
+    }
+    if (topo.family == "bcube") {
+      if (!saw_ports)
+        return fail(section.loc,
+                    "missing required setting 'ports' in " + scope);
+      if (!saw_levels)
+        return fail(section.loc,
+                    "missing required setting 'levels' in " + scope);
+      if (topology_nodes(topo) > (std::uint64_t{1} << 16))
+        return fail(section.loc,
+                    "bcube is too large: got " +
+                        std::to_string(topology_nodes(topo)) +
+                        " nodes, the cap is 65536");
+    }
     if (topo.family == "explicit") {
       if (!saw_edges)
         return fail(section.loc,
@@ -459,6 +509,45 @@ class Validator {
     if (proto.conversion != "sparse" && !proto.converters.empty())
       return fail(converters_loc_,
                   "'converters' is only valid with sparse conversion");
+    return true;
+  }
+
+  bool strategy(const Section& section) {
+    if (!only_in(section, ScenarioMode::Trials)) return false;
+    saw_strategy_ = true;
+    strategy_loc_ = section.loc;
+    StrategySpec& strat = spec_.strategy;
+    strat.declared = true;
+    if (section.variant.empty())
+      return fail(section.loc,
+                  "strategy section needs a kind tag, e.g. 'strategy "
+                  "first_fit { k 3; }'");
+    strat.kind = section.variant;
+    if (strat.kind != "first_fit" && strat.kind != "least_used" &&
+        strat.kind != "random_fit" && strat.kind != "multipath" &&
+        strat.kind != "valiant")
+      return fail(section.variant_loc,
+                  "unknown strategy kind '" + strat.kind + "'");
+    const std::string scope = "strategy " + strat.kind;
+    SourceLoc split_loc;
+    bool saw_split = false;
+    const bool ok = walk(section.settings, scope, [&](const Setting& s) {
+      if (s.key == "k")
+        return get_u32(s, 1, 16, strat.candidates) ? 1 : -1;
+      if (s.key == "split") {
+        saw_split = true;
+        split_loc = s.loc;
+        return get_u32(s, 1, 8, strat.split_ways) ? 1 : -1;
+      }
+      return 0;
+    });
+    if (!ok) return false;
+    // 'split' names the multipath stripe width; pairing it with a
+    // single-route assignment is a conflicting-keys error, not a knob.
+    if (saw_split && strat.kind != "multipath")
+      return fail(split_loc, "setting 'split' conflicts with strategy '" +
+                                 strat.kind +
+                                 "' (only multipath stripes requests)");
     return true;
   }
 
@@ -674,6 +763,10 @@ class Validator {
                                     "a mesh topology (got '" +
                                     spec_.topology.family + "')");
     }
+    if (saw_strategy_ && saw_paths_ && system != "bfs")
+      return fail(strategy_loc_,
+                  "strategy blocks require the bfs path system (strategies "
+                  "choose their own routes; paths supply the workload)");
 
     if (spec_.mode == ScenarioMode::Pass) {
       if (spec_.topology.family != "explicit")
@@ -738,6 +831,8 @@ class Validator {
   bool saw_paths_ = false;
   bool saw_case_ = false;
   bool saw_trials_ = false;
+  bool saw_strategy_ = false;
+  SourceLoc strategy_loc_;
   SourceLoc mode_loc_;
   SourceLoc trials_loc_;
   SourceLoc paths_loc_;

@@ -1,0 +1,40 @@
+// BCube(n, k) server-centric datacenter topology (Guo et al., SIGCOMM
+// 2009): n^(k+1) servers, k+1 switch levels of n^k switches each, every
+// server attached to exactly one switch per level.
+//
+// A server is addressed by k+1 base-n digits (a_k ... a_0); at level l
+// it connects to the switch whose index is those digits with a_l
+// removed. Node ids are deterministic: servers first (address order),
+// then switches level by level — so the server ids form one contiguous
+// range [0, n^(k+1)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+struct BCubeTopology {
+  std::uint32_t ports = 0;   ///< n, switch port count (>= 2)
+  std::uint32_t levels = 0;  ///< k + 1 switch levels (>= 1)
+  Graph graph;
+  std::vector<NodeId> servers;  ///< contiguous, address order
+
+  std::uint32_t server_count() const {
+    return static_cast<std::uint32_t>(servers.size());
+  }
+  std::uint32_t switches_per_level() const {
+    return server_count() / ports;
+  }
+  NodeId switch_at(std::uint32_t level, std::uint32_t index) const {
+    return server_count() + level * switches_per_level() + index;
+  }
+};
+
+/// Builds BCube(n, k) with `levels` = k + 1 switch levels; ports >= 2,
+/// levels >= 1, and ports^levels must fit in 32 bits.
+BCubeTopology make_bcube(std::uint32_t ports, std::uint32_t levels);
+
+}  // namespace opto

@@ -1,0 +1,42 @@
+// k-ary fat-tree topology (3-tier folded Clos, the canonical datacenter
+// fabric the oblivious-routing literature measures against).
+//
+// For even radix k: (k/2)^2 core switches, k pods of k/2 aggregation and
+// k/2 edge switches each, and k/2 hosts per edge switch (k^3/4 hosts).
+// Node ids are assigned deterministically: cores first, then pod by pod
+// (aggregation before edge), hosts last — so two builds of the same
+// radix are byte-identical and host ids form one contiguous range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+
+namespace opto {
+
+struct FatTreeTopology {
+  std::uint32_t radix = 0;  ///< k (even, >= 2)
+  Graph graph;
+  std::vector<NodeId> hosts;  ///< contiguous, edge-switch order
+
+  std::uint32_t core_count() const { return (radix / 2) * (radix / 2); }
+  std::uint32_t pod_count() const { return radix; }
+  std::uint32_t hosts_per_edge() const { return radix / 2; }
+
+  NodeId core(std::uint32_t index) const { return index; }
+  NodeId aggregation(std::uint32_t pod, std::uint32_t index) const {
+    return core_count() + pod * radix + index;
+  }
+  NodeId edge(std::uint32_t pod, std::uint32_t index) const {
+    return core_count() + pod * radix + radix / 2 + index;
+  }
+};
+
+/// Builds the k-ary fat-tree; k must be even and >= 2. Aggregation
+/// switch i of every pod uplinks to cores [i*k/2, (i+1)*k/2); every
+/// (aggregation, edge) pair within a pod is connected; each edge switch
+/// serves k/2 hosts.
+FatTreeTopology make_fat_tree(std::uint32_t radix);
+
+}  // namespace opto

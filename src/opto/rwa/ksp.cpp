@@ -1,0 +1,127 @@
+#include "opto/rwa/ksp.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "opto/graph/graph_algo.hpp"
+#include "opto/util/assert.hpp"
+
+namespace opto::rwa {
+
+namespace {
+
+/// Orders candidate routes by (length, lexicographic node sequence) —
+/// the canonical enumeration order of the module.
+struct RouteLess {
+  bool operator()(const std::vector<NodeId>& a,
+                  const std::vector<NodeId>& b) const {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  }
+};
+
+/// Lexicographically smallest shortest path source → destination that
+/// avoids banned nodes and banned directed links; empty when none
+/// exists. Two phases: a reverse BFS from the destination computes
+/// hops-to-go under the bans, then a greedy forward walk picks the
+/// smallest next node that still lies on some shortest path.
+std::vector<NodeId> lex_min_shortest(const Graph& graph, NodeId source,
+                                     NodeId destination,
+                                     const std::vector<char>& banned_node,
+                                     const std::vector<char>& banned_link) {
+  if (banned_node[source] || banned_node[destination]) return {};
+  if (source == destination) return {source};
+
+  std::vector<std::uint32_t> dist(graph.node_count(), kUnreachable);
+  dist[destination] = 0;
+  std::deque<NodeId> queue{destination};
+  while (!queue.empty()) {
+    const NodeId x = queue.front();
+    queue.pop_front();
+    // The incoming link y → x is the reverse of the outgoing x → y.
+    for (EdgeId e : graph.out_links(x)) {
+      const NodeId y = graph.target(e);
+      if (banned_node[y] || banned_link[Graph::reverse(e)]) continue;
+      if (dist[y] != kUnreachable) continue;
+      dist[y] = dist[x] + 1;
+      queue.push_back(y);
+    }
+  }
+  if (dist[source] == kUnreachable) return {};
+
+  std::vector<NodeId> route{source};
+  NodeId u = source;
+  while (u != destination) {
+    NodeId best = kInvalidNode;
+    for (EdgeId e : graph.out_links(u)) {
+      const NodeId v = graph.target(e);
+      if (banned_node[v] || banned_link[e]) continue;
+      if (dist[v] != dist[u] - 1) continue;
+      if (best == kInvalidNode || v < best) best = v;
+    }
+    OPTO_ASSERT(best != kInvalidNode);
+    route.push_back(best);
+    u = best;
+  }
+  return route;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> k_shortest_routes(const Graph& graph,
+                                                   NodeId source,
+                                                   NodeId destination,
+                                                   std::uint32_t k) {
+  OPTO_ASSERT(source < graph.node_count() &&
+              destination < graph.node_count());
+  std::vector<std::vector<NodeId>> accepted;
+  if (k == 0) return accepted;
+  if (source == destination) {
+    accepted.push_back({source});
+    return accepted;
+  }
+
+  std::vector<char> banned_node(graph.node_count(), 0);
+  std::vector<char> banned_link(graph.link_count(), 0);
+  auto first = lex_min_shortest(graph, source, destination, banned_node,
+                                banned_link);
+  if (first.empty()) return accepted;
+  accepted.push_back(std::move(first));
+
+  std::set<std::vector<NodeId>, RouteLess> candidates;
+  while (accepted.size() < k) {
+    const std::vector<NodeId> prev = accepted.back();
+    for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+      // Deviate at spur node prev[i]: keep the root prev[0..i], ban the
+      // next-links of every accepted route sharing that root, and ban
+      // the root's interior nodes so the spur path stays loopless.
+      for (const auto& route : accepted) {
+        if (route.size() <= i + 1) continue;
+        if (!std::equal(route.begin(), route.begin() + i + 1, prev.begin()))
+          continue;
+        const EdgeId e = graph.find_link(route[i], route[i + 1]);
+        OPTO_ASSERT(e != kInvalidEdge);
+        banned_link[e] = 1;
+      }
+      for (std::size_t j = 0; j < i; ++j) banned_node[prev[j]] = 1;
+
+      const auto spur = lex_min_shortest(graph, prev[i], destination,
+                                         banned_node, banned_link);
+      if (!spur.empty()) {
+        std::vector<NodeId> total(prev.begin(), prev.begin() + i);
+        total.insert(total.end(), spur.begin(), spur.end());
+        candidates.insert(std::move(total));
+      }
+
+      for (std::size_t j = 0; j < i; ++j) banned_node[prev[j]] = 0;
+      std::fill(banned_link.begin(), banned_link.end(), 0);
+    }
+    if (candidates.empty()) break;
+    accepted.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return accepted;
+}
+
+}  // namespace opto::rwa

@@ -1,0 +1,140 @@
+#include "opto/rwa/schedule.hpp"
+
+#include <numeric>
+
+#include "opto/par/parallel_for.hpp"
+#include "opto/paths/path_collection.hpp"
+#include "opto/rng/splitmix64.hpp"
+#include "opto/util/assert.hpp"
+
+namespace opto::rwa {
+
+StrategyRunResult run_strategy_schedule(std::shared_ptr<const Graph> graph,
+                                        std::span<const RwaRequest> requests,
+                                        Strategy& strategy,
+                                        const StrategyScheduleConfig& config) {
+  OPTO_ASSERT(graph != nullptr && config.worm_length >= 1 &&
+              config.max_rounds >= 1);
+  StrategyRunResult result;
+  result.requests = requests.size();
+
+  std::vector<std::uint32_t> pending(requests.size());
+  std::iota(pending.begin(), pending.end(), 0);
+  std::vector<char> color_used(config.rwa.bandwidth, 0);
+
+  for (std::uint32_t round = 1;
+       round <= config.max_rounds && !pending.empty(); ++round) {
+    strategy.begin(*graph, config.rwa, round);
+
+    PathCollection collection(graph);
+    std::vector<LaunchSpec> specs;
+    std::vector<std::uint32_t> still_pending;
+    for (const std::uint32_t uid : pending) {
+      RwaDecision decision = strategy.assign(requests[uid], uid);
+      if (!decision.accepted) {
+        still_pending.push_back(uid);
+        continue;
+      }
+      OPTO_ASSERT(decision.routes.size() == decision.lambdas.size() &&
+                  !decision.routes.empty());
+      for (std::size_t i = 0; i < decision.routes.size(); ++i) {
+        LaunchSpec spec;
+        spec.path = collection.size();
+        collection.add(std::move(decision.routes[i]));
+        spec.start_time = 0;
+        spec.wavelength = decision.lambdas[i];
+        spec.priority = uid;
+        spec.length = config.worm_length;
+        specs.push_back(spec);
+        color_used[decision.lambdas[i]] = 1;
+      }
+    }
+
+    result.rounds = round;
+    if (round == 1) {
+      result.blocked_first_round = still_pending.size();
+      result.blocking = requests.empty()
+                            ? 0.0
+                            : static_cast<double>(still_pending.size()) /
+                                  static_cast<double>(requests.size());
+    }
+
+    if (!specs.empty()) {
+      SimConfig sim_config;
+      sim_config.bandwidth = config.rwa.bandwidth;
+      Simulator sim(collection, sim_config);
+      const PassResult pass = sim.run(specs);
+      // A valid assignment is collision-free by construction; a lost
+      // worm here means the strategy double-claimed a channel.
+      OPTO_ASSERT_MSG(pass.metrics.delivered == specs.size(),
+                      "RWA strategy produced a colliding assignment");
+      result.makespan += pass.metrics.makespan + 1;
+      result.worm_steps += pass.metrics.worm_steps;
+    }
+    pending = std::move(still_pending);
+  }
+
+  result.success = pending.empty();
+  for (const char used : color_used)
+    result.colors += static_cast<std::uint32_t>(used);
+  return result;
+}
+
+StrategyAggregate run_strategy_trials(const InstanceFactory& factory,
+                                      StrategyKind kind,
+                                      const StrategyScheduleConfig& config,
+                                      std::size_t trials,
+                                      std::uint64_t base_seed) {
+  struct Outcome {
+    bool success = false;
+    double blocking = 0.0;
+    double rounds = 0.0;
+    double makespan = 0.0;
+    double colors = 0.0;
+  };
+  std::vector<Outcome> outcomes(trials);
+
+  parallel_for_chunked(0, trials, [&](std::size_t lo, std::size_t hi) {
+    // One strategy per worker chunk: begin() re-binds it each round, so
+    // reuse across trials exercises the re-entrancy contract (the KSP
+    // cache restarts cold at each trial's round 1 — trial graphs are
+    // independently allocated, so address reuse must not alias them).
+    const std::unique_ptr<Strategy> strategy = make_strategy(kind);
+    for (std::size_t trial = lo; trial < hi; ++trial) {
+      // Same per-trial seed derivation as benchsupport run_trials, so a
+      // strategy trial t sees the same instance seed as a protocol
+      // trial t (the head-to-head compares like with like).
+      const std::uint64_t seed =
+          splitmix64_once(base_seed + 0x9e3779b97f4a7c15ull * (trial + 1));
+      auto [graph, requests] = factory(seed);
+      StrategyScheduleConfig trial_config = config;
+      trial_config.rwa.seed = seed ^ 0xabcdef;  // mirrors protocol.run(seed^…)
+      const StrategyRunResult run = run_strategy_schedule(
+          std::move(graph), requests, *strategy, trial_config);
+      Outcome& outcome = outcomes[trial];
+      outcome.success = run.success;
+      outcome.blocking = run.blocking;
+      if (!run.success) continue;
+      outcome.rounds = static_cast<double>(run.rounds);
+      outcome.makespan = static_cast<double>(run.makespan);
+      outcome.colors = static_cast<double>(run.colors);
+    }
+  });
+
+  // Sequential fold in trial order (byte-stable across OPTO_THREADS).
+  StrategyAggregate aggregate;
+  for (const Outcome& outcome : outcomes) {
+    aggregate.blocking.add(outcome.blocking);
+    if (!outcome.success) {
+      ++aggregate.failures;
+      continue;
+    }
+    aggregate.rounds.add(outcome.rounds);
+    aggregate.makespan.add(outcome.makespan);
+    aggregate.colors.add(outcome.colors);
+  }
+  aggregate.trials = trials;
+  return aggregate;
+}
+
+}  // namespace opto::rwa

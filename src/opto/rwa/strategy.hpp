@@ -1,0 +1,120 @@
+// Pluggable static RWA strategies — the paper's §1.2/§4 comparator
+// family, measured head-to-head against Trial-and-Failure (E19).
+//
+// A Strategy is re-entrant the way ProtocolSession is: begin() binds it
+// to a graph and clears all per-round wavelength occupancy (candidate
+// routes are cached across rounds — they depend only on the graph), and
+// assign() serves one request at a time in admission (uid) order. Every
+// decision is a pure function of (graph, config, round, uid, previously
+// accepted set): the only randomness is drawn from the counter-based
+// Philox RNG keyed by (seed, round, uid, slot), so Random-Fit and
+// Valiant draws are order-, thread-, and batch-shape-independent
+// (DESIGN.md §11 determinism contract).
+//
+// Wavelengths live in the hard band [0, bandwidth): a request that has
+// no feasible (candidate route, free wavelength) pair is blocked for
+// the round and retried by the round driver (schedule.hpp) on a fresh
+// band — the analogue of a Trial-and-Failure round.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opto/graph/graph.hpp"
+#include "opto/optical/worm.hpp"
+#include "opto/paths/path.hpp"
+
+namespace opto::rwa {
+
+enum class StrategyKind : std::uint8_t {
+  FirstFit,   ///< first candidate route with a free wavelength, lowest λ
+  LeastUsed,  ///< same route rule; spread over already-used wavelengths
+  RandomFit,  ///< same route rule; keyed Philox draw over the free set
+  Multipath,  ///< stripe across link-disjoint candidates, first-fit λ
+  Valiant,    ///< oblivious two-leg route via a keyed random waypoint
+};
+
+const char* to_string(StrategyKind kind);
+std::optional<StrategyKind> parse_strategy_kind(const std::string& name);
+
+/// All strategy kinds in canonical (enum) order — the zoo.
+std::vector<StrategyKind> all_strategy_kinds();
+
+struct RwaRequest {
+  NodeId source = 0;
+  NodeId destination = 0;
+};
+
+struct RwaConfig {
+  std::uint16_t bandwidth = 1;   ///< wavelengths per round (B >= 1)
+  std::uint32_t candidates = 3;  ///< k candidate routes per request (>= 1)
+  std::uint32_t split_ways = 2;  ///< multipath stripe width (>= 1)
+  std::uint64_t seed = 1;        ///< Philox key (RandomFit, Valiant)
+};
+
+/// One accepted request: the chosen route(s) and their wavelengths.
+/// Exactly one route except for the multipath splitter, which may
+/// stripe a request over several link-disjoint routes. A zero-length
+/// route (source == destination) carries wavelength 0 and occupies
+/// nothing.
+struct RwaDecision {
+  bool accepted = false;
+  std::vector<Path> routes;
+  std::vector<Wavelength> lambdas;  ///< parallel to routes
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual StrategyKind kind() const = 0;
+  const char* name() const { return to_string(kind()); }
+
+  /// Re-binds the strategy to `graph` for one assignment round and
+  /// clears all wavelength occupancy. The graph must outlive the round.
+  /// Candidate-route caches survive across the rounds of one schedule
+  /// run (begin() calls with round > 1 on the same graph) and reset at
+  /// round 1 — the strategy does not own the graph, so a reused heap
+  /// address must never revive routes cached for a previous topology.
+  virtual void begin(const Graph& graph, const RwaConfig& config,
+                     std::uint32_t round);
+
+  /// Serves one request; uid is its stable identity across rounds (the
+  /// Philox counter and the launch priority). Accepted decisions claim
+  /// their (link, λ) channels immediately.
+  virtual RwaDecision assign(const RwaRequest& request, std::uint32_t uid) = 0;
+
+ protected:
+  /// Candidate routes for (source, destination), cached per graph.
+  const std::vector<std::vector<NodeId>>& candidates(NodeId source,
+                                                     NodeId destination);
+
+  bool channel_free(const Path& route, Wavelength lambda) const;
+  void claim(const Path& route, Wavelength lambda);
+
+  /// Lowest free wavelength on `route`, or nullopt if the band is full.
+  std::optional<Wavelength> first_fit(const Path& route) const;
+
+  /// Builds the canonical single-route decision and claims its channels.
+  RwaDecision accept(const Graph& graph, const std::vector<NodeId>& route,
+                     Wavelength lambda);
+
+  const Graph* graph_ = nullptr;
+  RwaConfig config_;
+  std::uint32_t round_ = 0;
+  /// occupancy_[link * bandwidth + λ]: channel claimed this round.
+  std::vector<char> occupancy_;
+  /// usage_[λ]: links claimed on wavelength λ this round (LeastUsed).
+  std::vector<std::uint32_t> usage_;
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::vector<NodeId>>>
+      route_cache_;
+};
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind);
+
+}  // namespace opto::rwa

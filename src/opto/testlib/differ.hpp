@@ -20,10 +20,18 @@
 //     (reference_run models no faults, so faulty cases stop at 2–5 —
 //     a case whose fault plan has all-zero rates still reaches 6,
 //     which pins the "disabled plan is bit-identical to no plan"
-//     contract).
+//     contract);
+//  7. an RWA strategy stage: the case's path endpoints become requests
+//     and every rwa/ strategy routes them — a manual replay checks each
+//     accepted decision (routes connect source to destination, every λ
+//     is inside the band, no two accepted routes share a (link, λ)
+//     channel in a round), then two independent run_strategy_schedule
+//     runs must agree on every result field (the DESIGN.md §11
+//     counter-based-RNG determinism contract).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,12 +41,18 @@ namespace opto::testlib {
 
 struct DiffReport {
   /// Human-readable disagreements, each prefixed with its source: [case],
-  /// [determinism], [simd], [validate], [occupancy], [sharded], or
-  /// [reference].
+  /// [determinism], [simd], [validate], [occupancy], [sharded],
+  /// [reference], or [rwa].
   std::vector<std::string> issues;
   /// Production-engine metrics of the run (zeroed when the case never
   /// built); lets callers select cases by behavior without re-running.
   PassMetrics metrics;
+  /// RWA-stage tallies: requests the stage derived from the case's paths
+  /// (0 = stage skipped) and first-round blocked requests summed over
+  /// all strategies — the fuzz driver's coverage counters and the
+  /// --distill rwa predicate read these.
+  std::uint64_t rwa_requests = 0;
+  std::uint64_t rwa_blocked = 0;
 
   bool ok() const { return issues.empty(); }
   std::string summary(std::size_t max_items = 8) const;

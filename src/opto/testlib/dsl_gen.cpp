@@ -29,6 +29,7 @@ struct Topology {
   std::string family;
   std::uint64_t nodes = 0;  ///< validator's topology_nodes()
   std::uint64_t dim = 0, side = 0, declared_nodes = 0;
+  std::uint64_t radix = 0, ports = 0, levels = 0;  // fattree / bcube
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;  // explicit
 };
 
@@ -37,7 +38,7 @@ struct Topology {
 Topology draw_topology(Rng& rng, bool need_explicit) {
   Topology topo;
   const std::uint64_t family =
-      need_explicit ? 6 : rng.next_below(7);
+      need_explicit ? 6 : rng.next_below(9);
   switch (family) {
     case 0:
       topo.family = "ring";
@@ -68,6 +69,23 @@ Topology draw_topology(Rng& rng, bool need_explicit) {
       topo.family = "single_link";
       topo.nodes = 2;
       break;
+    case 7: {
+      topo.family = "fattree";
+      topo.radix = 2 * in(rng, 1, 2);  // even by construction
+      const std::uint64_t half = topo.radix / 2;
+      topo.nodes =
+          half * half + topo.radix * topo.radix + half * half * topo.radix;
+      break;
+    }
+    case 8: {
+      topo.family = "bcube";
+      topo.ports = in(rng, 2, 4);
+      topo.levels = in(rng, 1, 2);
+      std::uint64_t servers = 1;
+      for (std::uint64_t l = 0; l < topo.levels; ++l) servers *= topo.ports;
+      topo.nodes = servers + topo.levels * (servers / topo.ports);
+      break;
+    }
     default: {
       topo.family = "explicit";
       topo.declared_nodes = in(rng, 2, 8);
@@ -92,6 +110,9 @@ void emit_topology(std::ostringstream& os, const Topology& topo) {
   if (topo.family == "butterfly" || topo.family == "hypercube")
     os << " dim " << topo.dim << ";";
   if (topo.family == "mesh") os << " side " << topo.side << ";";
+  if (topo.family == "fattree") os << " radix " << topo.radix << ";";
+  if (topo.family == "bcube")
+    os << " ports " << topo.ports << "; levels " << topo.levels << ";";
   if (topo.family == "ring" || topo.family == "complete" ||
       topo.family == "explicit")
     os << " nodes " << topo.declared_nodes << ";";
@@ -272,6 +293,7 @@ std::string generate_program(std::uint64_t seed, std::uint64_t index) {
   emit_topology(os, topo);
 
   std::vector<std::vector<std::uint64_t>> routes;
+  bool bfs_paths = false;
   if (mode != 1) {
     if (pass || topo.family == "explicit") {
       routes = draw_routes(rng, topo.nodes);
@@ -292,6 +314,7 @@ std::string generate_program(std::uint64_t seed, std::uint64_t index) {
         system = "butterfly_io";
       if (topo.family == "mesh" && rng.next_bernoulli(0.6))
         system = "mesh_dimension_order";
+      bfs_paths = system == "bfs";
       os << "  paths " << system << " { workload "
          << (rng.next_bernoulli(0.5) ? "permutation" : "random_function")
          << "; }\n";
@@ -300,6 +323,18 @@ std::string generate_program(std::uint64_t seed, std::uint64_t index) {
 
   const std::uint64_t bandwidth = emit_protocol(os, rng, topo.nodes);
   if (mode == 0 && rng.next_bernoulli(0.8)) emit_schedule(os, rng);
+  // Strategy blocks are trials-only and require the bfs path system
+  // (validator cross-checks); split is multipath-only.
+  if (mode == 0 && bfs_paths && rng.next_bernoulli(0.4)) {
+    const char* const kKinds[] = {"first_fit", "least_used", "random_fit",
+                                  "multipath", "valiant"};
+    const std::uint64_t kind = rng.next_below(std::size(kKinds));
+    os << "  strategy " << kKinds[kind] << " {";
+    if (rng.next_bernoulli(0.6)) os << " k " << in(rng, 1, 16) << ";";
+    if (kKinds[kind] == std::string("multipath") && rng.next_bernoulli(0.6))
+      os << " split " << in(rng, 1, 8) << ";";
+    os << " }\n";
+  }
   if (mode == 1 && rng.next_bernoulli(0.9)) emit_engine(os, rng);
   if (rng.next_bernoulli(0.3)) emit_faults(os, rng, pass);
 

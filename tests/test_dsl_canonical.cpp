@@ -73,6 +73,7 @@ TEST(DslCanonical, CommittedExamplesMatchTheirGoldens) {
 }
 
 TEST(DslCanonical, GeneratedProgramsAreValidFixedPoints) {
+  std::uint64_t with_strategy = 0, with_fattree = 0, with_bcube = 0;
   for (std::uint64_t i = 0; i < 500; ++i) {
     const std::string program = testlib::generate_program(7, i);
     require_fixed_point(program, "gen-" + std::to_string(i));
@@ -80,7 +81,16 @@ TEST(DslCanonical, GeneratedProgramsAreValidFixedPoints) {
       ADD_FAILURE() << "failing program:\n" << program;
       break;
     }
+    if (program.find("  strategy ") != std::string::npos) ++with_strategy;
+    if (program.find("topology fattree") != std::string::npos) ++with_fattree;
+    if (program.find("topology bcube") != std::string::npos) ++with_bcube;
   }
+  // The generator must keep exercising the strategy/topology surface the
+  // validator grew in the RWA layer, or the grammar fuzz gate goes blind
+  // to it.
+  EXPECT_GE(with_strategy, 10u);
+  EXPECT_GE(with_fattree, 10u);
+  EXPECT_GE(with_bcube, 10u);
 }
 
 TEST(DslCanonical, GeneratorIsPureInSeedAndIndex) {

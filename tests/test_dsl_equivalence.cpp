@@ -69,9 +69,17 @@ TEST_F(DslEquivalence, E17StreamingEngineMatchesHandCodedPath) {
   EXPECT_NE(dsl.find("\"mode\":\"engine\""), std::string::npos);
 }
 
+TEST_F(DslEquivalence, E19StrategyZooMatchesHandCodedPath) {
+  const std::string dsl = run_example("e19_strategy_zoo");
+  EXPECT_EQ(dsl, run_native("e19-strategy-zoo"));
+  // The strategy block must actually reach the run core: a strategy
+  // scenario's result carries the per-strategy schedule metrics.
+  EXPECT_NE(dsl.find("\"label\":\"e19-strategy-zoo\""), std::string::npos);
+}
+
 TEST_F(DslEquivalence, BuiltinNamesStayWiredToCommittedExamples) {
   const auto names = builtin_names();
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_EQ(names.size(), 4u);
   JsonValue result;
   std::string error;
   EXPECT_FALSE(run_builtin("no-such-scenario", result, error));

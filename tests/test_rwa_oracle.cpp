@@ -1,0 +1,242 @@
+// Oracle tests for the RWA strategy layer: hand-computed First-Fit /
+// Least-Used / Random-Fit assignments on small named topologies, and a
+// brute-force k-shortest-path oracle (exhaustive simple-path enumeration
+// in the canonical (length, lexicographic) order) cross-checked against
+// the Yen implementation over a few hundred generated graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "opto/graph/fattree.hpp"
+#include "opto/graph/graph.hpp"
+#include "opto/graph/ring.hpp"
+#include "opto/rng/philox.hpp"
+#include "opto/rng/rng.hpp"
+#include "opto/rwa/ksp.hpp"
+#include "opto/rwa/strategy.hpp"
+
+namespace opto::rwa {
+namespace {
+
+Graph make_chain(NodeId nodes) {
+  Graph graph(nodes, "chain");
+  for (NodeId i = 0; i + 1 < nodes; ++i) graph.add_edge(i, i + 1);
+  return graph;
+}
+
+/// Serves one request and returns the single assigned wavelength, or
+/// nullopt when blocked. Asserts the single-route shape.
+std::optional<Wavelength> serve(Strategy& strategy, NodeId source,
+                                NodeId destination, std::uint32_t uid) {
+  const RwaDecision decision =
+      strategy.assign(RwaRequest{source, destination}, uid);
+  if (!decision.accepted) return std::nullopt;
+  EXPECT_EQ(decision.routes.size(), 1u);
+  EXPECT_EQ(decision.lambdas.size(), 1u);
+  EXPECT_EQ(decision.routes.front().source(), source);
+  EXPECT_EQ(decision.routes.front().destination(), destination);
+  return decision.lambdas.front();
+}
+
+TEST(RwaOracle, FirstFitOnChainByHand) {
+  // Chain 0-1-2-3-4-5, B=2. (0→3) takes λ0 on links 0→1,1→2,2→3;
+  // (1→2) finds λ0 busy on its only link and opens λ1; (3→5) is
+  // link-disjoint from both so the lowest index λ0 is free again;
+  // (0→5) then needs 1→2 where both wavelengths are taken → blocked.
+  const Graph graph = make_chain(6);
+  RwaConfig config;
+  config.bandwidth = 2;
+  config.candidates = 3;
+  const auto strategy = make_strategy(StrategyKind::FirstFit);
+  strategy->begin(graph, config, 1);
+  EXPECT_EQ(serve(*strategy, 0, 3, 0), Wavelength{0});
+  EXPECT_EQ(serve(*strategy, 1, 2, 1), Wavelength{1});
+  EXPECT_EQ(serve(*strategy, 3, 5, 2), Wavelength{0});
+  EXPECT_EQ(serve(*strategy, 0, 5, 3), std::nullopt);
+}
+
+TEST(RwaOracle, LeastUsedSpreadsOverInServiceWavelengthsByHand) {
+  // Same chain and arrival order as the First-Fit case. After (0→3)
+  // on λ0 (usage 3 links) and (1→2) on λ1 (usage 1 link), the (3→5)
+  // route has both wavelengths free: First-Fit takes λ0, Least-Used
+  // takes the lighter in-service λ1.
+  const Graph graph = make_chain(6);
+  RwaConfig config;
+  config.bandwidth = 2;
+  config.candidates = 3;
+  const auto strategy = make_strategy(StrategyKind::LeastUsed);
+  strategy->begin(graph, config, 1);
+  EXPECT_EQ(serve(*strategy, 0, 3, 0), Wavelength{0});
+  EXPECT_EQ(serve(*strategy, 1, 2, 1), Wavelength{1});
+  EXPECT_EQ(serve(*strategy, 3, 5, 2), Wavelength{1});
+}
+
+TEST(RwaOracle, LeastUsedOpensTheBandAsReluctantlyAsFirstFit) {
+  // With nothing in service Least-Used must fall back to the lowest
+  // unused index, not jump to a high one: the band opens λ0 first.
+  const Graph graph = make_ring(8);
+  RwaConfig config;
+  config.bandwidth = 4;
+  const auto strategy = make_strategy(StrategyKind::LeastUsed);
+  strategy->begin(graph, config, 1);
+  EXPECT_EQ(serve(*strategy, 0, 2, 0), Wavelength{0});
+  // Ring routes 0→2 and 2→4 share no directed link; λ0 stays feasible
+  // and is the only in-service wavelength, so it is reused, not λ1.
+  EXPECT_EQ(serve(*strategy, 2, 4, 1), Wavelength{0});
+}
+
+TEST(RwaOracle, RandomFitMatchesTheKeyedPhiloxDrawByHand) {
+  // On a fresh ring every wavelength is free, so Random-Fit's pick for
+  // uid u must be exactly free[CounterRng(seed, round).below(B, u, 8)]
+  // (slot 8 = kSlotRwaWavelength in rwa/strategy.cpp) with
+  // free = {0, …, B-1}.
+  const Graph graph = make_ring(8);
+  RwaConfig config;
+  config.bandwidth = 4;
+  config.seed = 0x5eedULL;
+  const auto strategy = make_strategy(StrategyKind::RandomFit);
+  for (const std::uint32_t round : {1u, 2u, 5u}) {
+    strategy->begin(graph, config, round);
+    const CounterRng rng(config.seed, round);
+    // Node-disjoint requests: each pick sees the full free band.
+    std::uint32_t uid = 0;
+    for (const auto [s, d] : {std::pair<NodeId, NodeId>{0, 1}, {2, 3},
+                              {4, 5}, {6, 7}}) {
+      const auto expected =
+          static_cast<Wavelength>(rng.below(config.bandwidth, uid, 8));
+      EXPECT_EQ(serve(*strategy, s, d, uid), expected)
+          << "round " << round << " uid " << uid;
+      ++uid;
+    }
+  }
+}
+
+TEST(RwaOracle, RadixTwoFatTreeIsATreeWithTheUniqueRoute) {
+  // The radix-2 fat tree: 1 core, 2 pods × (1 agg + 1 edge), 1 host per
+  // edge switch — 7 nodes, and a tree, so KSP finds exactly one route
+  // between the two hosts: host-edge-agg-core-agg-edge-host.
+  const FatTreeTopology topo = make_fat_tree(2);
+  ASSERT_EQ(topo.graph.node_count(), 7u);
+  ASSERT_EQ(topo.hosts.size(), 2u);
+  const NodeId a = topo.hosts[0], b = topo.hosts[1];
+  const auto routes = k_shortest_routes(topo.graph, a, b, 4);
+  ASSERT_EQ(routes.size(), 1u);
+  const std::vector<NodeId> expected{a, topo.edge(0, 0), topo.aggregation(0, 0),
+                                     topo.core(0), topo.aggregation(1, 0),
+                                     topo.edge(1, 0), b};
+  EXPECT_EQ(routes.front(), expected);
+
+  // Opposite directions use opposite directed links, so both host pairs
+  // fit on λ0 even at B=1.
+  RwaConfig config;
+  config.bandwidth = 1;
+  const auto strategy = make_strategy(StrategyKind::FirstFit);
+  strategy->begin(topo.graph, config, 1);
+  EXPECT_EQ(serve(*strategy, a, b, 0), Wavelength{0});
+  EXPECT_EQ(serve(*strategy, b, a, 1), Wavelength{0});
+  // A second same-direction request has nowhere to go at B=1.
+  EXPECT_EQ(serve(*strategy, a, b, 2), std::nullopt);
+}
+
+TEST(RwaOracle, FatTreeHostsInOnePodStayBelowTheCore) {
+  // Radix 4: hosts on the same edge switch are 2 apart; same pod across
+  // edge switches is 4 (host-edge-agg-edge-host); only cross-pod routes
+  // climb to a core (length 6).
+  const FatTreeTopology topo = make_fat_tree(4);
+  ASSERT_GE(topo.hosts.size(), 5u);
+  const auto same_edge =
+      k_shortest_routes(topo.graph, topo.hosts[0], topo.hosts[1], 1);
+  ASSERT_EQ(same_edge.size(), 1u);
+  EXPECT_EQ(same_edge.front().size(), 3u);
+  const auto same_pod =
+      k_shortest_routes(topo.graph, topo.hosts[0], topo.hosts[2], 1);
+  ASSERT_EQ(same_pod.size(), 1u);
+  EXPECT_EQ(same_pod.front().size(), 5u);
+  const auto cross_pod =
+      k_shortest_routes(topo.graph, topo.hosts[0], topo.hosts[4], 1);
+  ASSERT_EQ(cross_pod.size(), 1u);
+  EXPECT_EQ(cross_pod.front().size(), 7u);
+}
+
+/// Exhaustive oracle: every simple path source→destination by DFS, in
+/// the same canonical (length, lexicographic node sequence) order the
+/// Yen enumeration promises.
+std::vector<std::vector<NodeId>> brute_force_routes(const Graph& graph,
+                                                    NodeId source,
+                                                    NodeId destination,
+                                                    std::uint32_t k) {
+  std::vector<std::vector<NodeId>> all;
+  std::vector<NodeId> walk{source};
+  std::vector<char> visited(graph.node_count(), 0);
+  visited[source] = 1;
+  const auto dfs = [&](auto&& self, NodeId at) -> void {
+    if (at == destination) {
+      all.push_back(walk);
+      return;
+    }
+    for (const EdgeId link : graph.out_links(at)) {
+      const NodeId next = graph.target(link);
+      if (visited[next]) continue;
+      visited[next] = 1;
+      walk.push_back(next);
+      self(self, next);
+      walk.pop_back();
+      visited[next] = 0;
+    }
+  };
+  dfs(dfs, source);
+  std::sort(all.begin(), all.end(),
+            [](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(RwaOracle, YenMatchesBruteForceOnGeneratedGraphs) {
+  // ~200 random graphs (2–8 nodes, Bernoulli edges, disconnected pairs
+  // included), several (source, destination, k) probes each: the Yen
+  // enumeration must equal the exhaustive oracle sequence-for-sequence.
+  std::uint64_t probes = 0, nonempty = 0, truncated = 0;
+  for (std::uint64_t g = 0; g < 200; ++g) {
+    Rng rng = Rng::stream(0xac1e, g);
+    const NodeId nodes = static_cast<NodeId>(2 + rng.next_below(7));
+    Graph graph(nodes);
+    for (NodeId u = 0; u < nodes; ++u)
+      for (NodeId v = u + 1; v < nodes; ++v)
+        if (rng.next_bernoulli(0.4)) graph.add_edge(u, v);
+    for (std::uint32_t probe = 0; probe < 4; ++probe) {
+      const NodeId source = static_cast<NodeId>(rng.next_below(nodes));
+      const NodeId destination = static_cast<NodeId>(rng.next_below(nodes));
+      const std::uint32_t k = 1u << rng.next_below(4);  // 1, 2, 4, 8
+      const auto expected =
+          brute_force_routes(graph, source, destination, k);
+      const auto actual = k_shortest_routes(graph, source, destination, k);
+      ASSERT_EQ(actual, expected)
+          << "graph " << g << " probe " << probe << " (" << source << "→"
+          << destination << ", k=" << k << ")";
+      ++probes;
+      if (!expected.empty()) ++nonempty;
+      if (expected.size() == k) ++truncated;
+    }
+  }
+  // The sweep must actually exercise reachable pairs and the k-cutoff,
+  // not vacuously compare empty sets.
+  EXPECT_EQ(probes, 800u);
+  EXPECT_GE(nonempty, 400u);
+  EXPECT_GE(truncated, 50u);
+}
+
+TEST(RwaOracle, SourceEqualsDestinationIsTheZeroLengthRoute) {
+  const Graph graph = make_chain(4);
+  const auto routes = k_shortest_routes(graph, 2, 2, 5);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes.front(), std::vector<NodeId>{2});
+}
+
+}  // namespace
+}  // namespace opto::rwa

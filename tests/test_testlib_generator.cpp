@@ -83,16 +83,19 @@ TEST(Generator, MiniFuzzRunsClean) {
   // A small always-on differential sweep: every generated case must pass
   // determinism, invariant, and (when fault-free) reference checks. The
   // CI smoke job and nightly campaign scale this same loop up.
-  std::uint64_t with_contention = 0;
+  std::uint64_t with_contention = 0, with_rwa_blocking = 0;
   for (std::uint64_t i = 0; i < 150; ++i) {
     const FuzzCase fuzz = generate_case(kSeed, i);
     const DiffReport report = diff_case(fuzz);
     EXPECT_TRUE(report.ok())
         << "case " << i << ":\n" << report.summary();
     if (report.metrics.contentions > 0) ++with_contention;
+    if (report.rwa_blocked > 0) ++with_rwa_blocking;
   }
-  // The generator would be useless if its cases never collided.
+  // The generator would be useless if its cases never collided, and the
+  // RWA stage would be a tautology if no strategy ever had to retry.
   EXPECT_GE(with_contention, 30u);
+  EXPECT_GE(with_rwa_blocking, 20u);
 }
 
 }  // namespace

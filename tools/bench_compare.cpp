@@ -104,6 +104,23 @@ int run_rollup(int argc, char** argv) {
                    path.c_str());
       return 2;
     }
+    // A record with neither counters nor metrics measures nothing; a
+    // bench that died before recording must fail the suite loudly, not
+    // roll up as a silent success.
+    const JsonValue* counters = record->find("counters");
+    const JsonValue* metrics = record->find("metrics");
+    const bool has_counters =
+        counters != nullptr && counters->is_object() &&
+        !counters->members.empty();
+    const bool has_metrics = metrics != nullptr && metrics->is_object() &&
+                             !metrics->members.empty();
+    if (!has_counters && !has_metrics) {
+      std::fprintf(stderr,
+                   "bench_compare: '%s' (label '%s') has no counters or "
+                   "metrics — the bench recorded nothing\n",
+                   path.c_str(), record->string_at("label").c_str());
+      return 1;
+    }
     records.push_back(std::move(*record));
   }
   const JsonValue suite =

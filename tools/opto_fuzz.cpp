@@ -10,9 +10,10 @@
 //                      the same count of mutated programs must fail with
 //                      diagnostics instead of crashing
 //   --distill KIND     search the stream for a case exhibiting KIND
-//                      (kill | truncate | retune | fault | corrupt | components),
-//                      shrink it while preserving the behavior, write it
-//                      to --out — this is how corpus anchors are made
+//                      (kill | truncate | retune | fault | corrupt |
+//                      components | rwa), shrink it while preserving the
+//                      behavior, write it to --out — this is how corpus
+//                      anchors are made
 //   (default)          fuzz: generate --cases cases from --seed, diff
 //                      each, shrink and save any failure to --out
 //
@@ -94,6 +95,11 @@ struct Coverage {
   /// every path is its own component.
   std::uint64_t multi_component = 0;
   std::uint64_t all_singleton = 0;
+  /// RWA strategy-stage regimes: cases whose endpoints fed the strategy
+  /// zoo at all, and cases where at least one strategy blocked a request
+  /// in round 1 (the retry path of the round driver).
+  std::uint64_t rwa_checked = 0;
+  std::uint64_t rwa_blocking = 0;
 
   void add(const FuzzCase& fuzz, const DiffReport& report) {
     ++cases;
@@ -114,6 +120,8 @@ struct Coverage {
     if (fuzz.has_faults) ++with_faults;
     if (fuzz.bandwidth > 1) ++multi_wavelength;
     if (!fuzz.has_faults || !fuzz.faults.any_fault()) ++reference_checked;
+    if (report.rwa_requests > 0) ++rwa_checked;
+    if (report.rwa_blocked > 0) ++rwa_blocking;
   }
 
   void print() const {
@@ -124,11 +132,12 @@ struct Coverage {
         "          contention %" PRIu64 " | priority-rule %" PRIu64
         " | conversion %" PRIu64 " | fault-plans %" PRIu64
         " | multi-lambda %" PRIu64 " | vs-reference %" PRIu64 "\n"
-        "          multi-component %" PRIu64 " | all-singleton %" PRIu64 "\n",
+        "          multi-component %" PRIu64 " | all-singleton %" PRIu64
+        " | rwa-checked %" PRIu64 " | rwa-blocking %" PRIu64 "\n",
         cases, with_kills, with_truncations, with_retunes, with_fault_kills,
         with_corruption, with_contention, priority_rule, with_conversion,
         with_faults, multi_wavelength, reference_checked, multi_component,
-        all_singleton);
+        all_singleton, rwa_checked, rwa_blocking);
   }
 };
 
@@ -169,6 +178,14 @@ std::optional<CasePredicate> behavior_predicate(const std::string& kind) {
       if (!report.ok() || report.metrics.contentions == 0) return false;
       const auto built = opto::testlib::build_case(fuzz);
       return built && built->collection.components().count >= 3;
+    }};
+  if (kind == "rwa")
+    // A case where some strategy's round-1 band is too tight: blocking
+    // plus a clean diff pins the round driver's retry path and the
+    // strategy layer's replay/determinism invariants in the corpus.
+    return CasePredicate{[](const FuzzCase& fuzz) {
+      const DiffReport report = opto::testlib::diff_case(fuzz);
+      return report.ok() && report.rwa_blocked > 0;
     }};
   return std::nullopt;
 }
@@ -347,7 +364,7 @@ int main(int argc, char** argv) {
   const std::string* distill = cli.add_string(
       "distill", "",
       "find + shrink a clean case showing a behavior: kill | truncate | "
-      "retune | fault | corrupt | components");
+      "retune | fault | corrupt | components | rwa");
   const std::string* out =
       cli.add_string("out", "fuzz-out", "directory for repro files");
   const long long* stop_after =
@@ -411,7 +428,8 @@ int main(int argc, char** argv) {
     if (!predicate) {
       std::fprintf(stderr,
                    "opto_fuzz: unknown --distill behavior '%s' (want kill | "
-                   "truncate | retune | fault | corrupt | components)\n",
+                   "truncate | retune | fault | corrupt | components | "
+                   "rwa)\n",
                    distill->c_str());
       return 2;
     }
